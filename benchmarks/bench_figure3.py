@@ -1,0 +1,98 @@
+"""Benchmark: Figure 3 — throughput vs. offered load.
+
+Regenerates the four-system sweep at reduced scale and asserts the
+paper's shape: BSD rises then collapses toward livelock; NI-LRP
+plateaus flat; SOFT-LRP peaks higher than BSD and declines gently;
+Early-Demux lands between BSD and SOFT-LRP in the overload region
+(40-65% of SOFT-LRP in the paper).
+"""
+
+import pytest
+
+from repro.core import Architecture
+from repro.experiments import figure3
+
+RATES = (2_000, 6_000, 8_000, 10_000, 12_000, 16_000, 20_000)
+WINDOW = 400_000.0
+
+
+def sweep(arch):
+    return [figure3.run_point(arch, rate, warmup_usec=200_000.0,
+                              window_usec=WINDOW)["delivered_pps"]
+            for rate in RATES]
+
+
+def test_bsd_rises_then_collapses(once):
+    curve = once(sweep, Architecture.BSD)
+    once.extra_info["bsd_curve"] = [int(v) for v in curve]
+    peak = max(curve)
+    assert peak > 6_000
+    assert curve[-1] < peak * 0.1
+
+
+def test_ni_lrp_flat_plateau(once):
+    curve = once(sweep, Architecture.NI_LRP)
+    once.extra_info["ni_curve"] = [int(v) for v in curve]
+    plateau = curve[-3:]
+    assert max(plateau) - min(plateau) < max(plateau) * 0.05
+    assert max(curve) > 10_000
+
+
+def test_soft_lrp_peaks_high_declines_gently(once):
+    curve = once(sweep, Architecture.SOFT_LRP)
+    once.extra_info["soft_curve"] = [int(v) for v in curve]
+    peak = max(curve)
+    assert peak >= 9_000
+    assert curve[-1] > peak * 0.5
+
+
+def test_early_demux_between_bsd_and_soft(once):
+    def run():
+        return {arch: sweep(arch)
+                for arch in (Architecture.BSD,
+                             Architecture.EARLY_DEMUX,
+                             Architecture.SOFT_LRP)}
+
+    curves = once(run)
+    bsd = curves[Architecture.BSD]
+    early = curves[Architecture.EARLY_DEMUX]
+    soft = curves[Architecture.SOFT_LRP]
+    once.extra_info["overload_points"] = {
+        "bsd": int(bsd[-1]), "early": int(early[-1]),
+        "soft": int(soft[-1])}
+    assert bsd[-1] < early[-1] < soft[-1]
+    # The paper's 40-65% band, with slack for the simulator.
+    assert 0.3 * soft[-1] <= early[-1] <= 0.75 * soft[-1]
+
+
+def test_peak_ratios_match_paper(once):
+    """NI-LRP's peak is ~1.5x BSD's, SOFT-LRP's ~1.3x (paper: +51%
+    and +32%)."""
+    def run():
+        return {arch: max(sweep(arch))
+                for arch in (Architecture.BSD, Architecture.SOFT_LRP,
+                             Architecture.NI_LRP)}
+
+    peaks = once(run)
+    ni_ratio = peaks[Architecture.NI_LRP] / peaks[Architecture.BSD]
+    soft_ratio = peaks[Architecture.SOFT_LRP] / peaks[Architecture.BSD]
+    once.extra_info["ni_over_bsd"] = round(ni_ratio, 2)
+    once.extra_info["soft_over_bsd"] = round(soft_ratio, 2)
+    assert 1.25 <= ni_ratio <= 1.75
+    assert 1.1 <= soft_ratio <= 1.5
+
+
+def test_mlfrr_soft_exceeds_bsd(once):
+    """Paper: SOFT-LRP's MLFRR is 44% above BSD's."""
+    def run():
+        rates = (4_000, 6_000, 8_000, 9_000, 10_000, 11_000)
+        return {
+            "bsd": figure3.mlfrr(Architecture.BSD, rates=rates,
+                                 window_usec=WINDOW),
+            "soft": figure3.mlfrr(Architecture.SOFT_LRP, rates=rates,
+                                  window_usec=WINDOW),
+        }
+
+    result = once(run)
+    once.extra_info["mlfrr"] = {k: int(v) for k, v in result.items()}
+    assert result["soft"] > result["bsd"]

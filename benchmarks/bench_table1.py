@@ -1,0 +1,72 @@
+"""Benchmark: Table 1 — baseline latency and throughput.
+
+Regenerates each cell of Table 1 at reduced scale and checks the
+paper's headline: LRP's low-load performance is competitive with
+4.4BSD (no laziness penalty), and both beat the SunOS/Fore baseline.
+"""
+
+import pytest
+
+from repro.core import Architecture
+from repro.experiments import table1
+
+
+def test_latency_row(once):
+    rows = {}
+
+    def run():
+        for system in table1.SYSTEMS:
+            name = system if isinstance(system, str) else system.value
+            rows[name] = table1.measure_latency(system, iterations=500)
+        return rows
+
+    result = once(run)
+    once.extra_info["rtt_usec"] = {k: round(v, 1)
+                                   for k, v in result.items()}
+    # LRP within a few percent of BSD; SunOS/Fore clearly worse.
+    assert result["SOFT-LRP"] == pytest.approx(result["4.4BSD"],
+                                               rel=0.25)
+    assert result["NI-LRP"] == pytest.approx(result["4.4BSD"],
+                                             rel=0.25)
+    assert result["SunOS-Fore"] > result["4.4BSD"] * 1.2
+
+
+def test_udp_throughput_row(once):
+    def run():
+        return {
+            "4.4BSD": table1.measure_udp_throughput(
+                Architecture.BSD, total_mb=2.0),
+            "SOFT-LRP": table1.measure_udp_throughput(
+                Architecture.SOFT_LRP, total_mb=2.0),
+            "NI-LRP": table1.measure_udp_throughput(
+                Architecture.NI_LRP, total_mb=2.0),
+            "SunOS-Fore": table1.measure_udp_throughput(
+                "SunOS-Fore", total_mb=2.0),
+        }
+
+    result = once(run)
+    once.extra_info["udp_mbps"] = {k: round(v, 1)
+                                   for k, v in result.items()}
+    assert result["SOFT-LRP"] == pytest.approx(result["4.4BSD"],
+                                               rel=0.15)
+    assert result["SunOS-Fore"] < result["4.4BSD"]
+
+
+def test_tcp_throughput_row(once):
+    def run():
+        return {
+            "4.4BSD": table1.measure_tcp_throughput(
+                Architecture.BSD, total_mb=4.0),
+            "SOFT-LRP": table1.measure_tcp_throughput(
+                Architecture.SOFT_LRP, total_mb=4.0),
+            "NI-LRP": table1.measure_tcp_throughput(
+                Architecture.NI_LRP, total_mb=4.0),
+        }
+
+    result = once(run)
+    once.extra_info["tcp_mbps"] = {k: round(v, 1)
+                                   for k, v in result.items()}
+    assert result["SOFT-LRP"] == pytest.approx(result["4.4BSD"],
+                                               rel=0.25)
+    assert result["NI-LRP"] == pytest.approx(result["4.4BSD"],
+                                             rel=0.25)

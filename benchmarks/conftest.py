@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates (a scaled-down slice of) one of the paper's
+tables or figures, asserts the paper's qualitative shape on the result,
+and reports the simulation wall time via pytest-benchmark.  Every
+benchmark runs its workload exactly once (``pedantic`` with one round):
+the interesting output is the experiment's own measurements, which are
+attached to ``benchmark.extra_info``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Full-scale experiment runs (the numbers recorded in EXPERIMENTS.md)
+use ``python -m repro.experiments <name>`` instead.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Execute *func* once under the benchmark clock and return its
+    result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(func, *args, **kwargs):
+        return run_once(benchmark, func, *args, **kwargs)
+    runner.extra_info = benchmark.extra_info
+    return runner

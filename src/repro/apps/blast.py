@@ -1,0 +1,89 @@
+"""UDP blast workloads: a fixed-rate source and a discard sink.
+
+These are *process-based* (they consume simulated CPU on their host),
+matching the paper's client and server programs for Figure 3 and the
+background load of Figure 4.  For offered rates beyond what a simulated
+client process can generate, use
+:class:`repro.workloads.RawUdpInjector` (the paper similarly resorted
+to an in-kernel packet source).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.engine.process import Sleep, Syscall
+
+
+def udp_blast_sink(port: int, on_receive: Optional[Callable] = None,
+                   rcv_depth: Optional[int] = None) -> Generator:
+    """Receive datagrams on *port* and discard them immediately.
+
+    *on_receive(now, stamp, dgram)* is invoked per delivery for
+    instrumentation.
+    """
+    sock = yield Syscall("socket", stype="udp", rcv_depth=rcv_depth)
+    yield Syscall("bind", sock=sock, port=port)
+    while True:
+        dgram, src, stamp = yield Syscall("recvfrom", sock=sock)
+        if on_receive is not None:
+            on_receive(stamp, dgram)
+
+
+def udp_blast_source(dst_addr, dst_port: int, rate_pps: float,
+                     payload_bytes: int = 14,
+                     count: Optional[int] = None) -> Generator:
+    """Send fixed-size datagrams at *rate_pps* (open loop)."""
+    sock = yield Syscall("socket", stype="udp")
+    gap = 1e6 / rate_pps
+    sent = 0
+    while count is None or sent < count:
+        yield Syscall("sendto", sock=sock, nbytes=payload_bytes,
+                      addr=dst_addr, port=dst_port)
+        sent += 1
+        yield Sleep(gap)
+
+
+def udp_sliding_window_source(dst_addr, dst_port: int, window: int,
+                              payload_bytes: int, total_msgs: int,
+                              ack_port: int,
+                              done: Optional[list] = None) -> Generator:
+    """A simple sliding-window sender over UDP (the Table 1 UDP
+    throughput workload: "a simple sliding-window protocol").
+
+    Keeps *window* datagrams outstanding; the receiver acks each
+    message id on *ack_port*.
+    """
+    sock = yield Syscall("socket", stype="udp")
+    yield Syscall("bind", sock=sock, port=ack_port)
+    next_to_send = 0
+    acked = -1
+    while acked < total_msgs - 1:
+        while (next_to_send < total_msgs
+               and next_to_send - acked <= window):
+            yield Syscall("sendto", sock=sock, nbytes=payload_bytes,
+                          addr=dst_addr, port=dst_port,
+                          payload={"seq": next_to_send})
+            next_to_send += 1
+        dgram, src, stamp = yield Syscall("recvfrom", sock=sock)
+        ack = dgram.payload
+        if isinstance(ack, dict) and "ack" in ack:
+            acked = max(acked, ack["ack"])
+    if done is not None:
+        done.append(True)
+
+
+def udp_sliding_window_sink(port: int,
+                            received: Optional[list] = None) -> Generator:
+    """Receiver for the sliding-window source: acks every message."""
+    sock = yield Syscall("socket", stype="udp")
+    yield Syscall("bind", sock=sock, port=port)
+    while True:
+        dgram, src, stamp = yield Syscall("recvfrom", sock=sock)
+        payload = dgram.payload
+        if received is not None:
+            received.append(dgram.payload_len)
+        if isinstance(payload, dict) and "seq" in payload:
+            yield Syscall("sendto", sock=sock, nbytes=4,
+                          addr=src.addr, port=src.port,
+                          payload={"ack": payload["seq"]})

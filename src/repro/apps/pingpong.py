@@ -1,0 +1,51 @@
+"""UDP ping-pong: the latency workload of Table 1 and Figure 4.
+
+"Latency was measured by ping-ponging a 1-byte message between two
+workstations 10,000 times, measuring the elapsed time and dividing to
+obtain round-trip latency."
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.engine.process import Syscall
+from repro.stats.metrics import LatencyRecorder
+
+
+def pingpong_server(port: int, payload_bytes: int = 1) -> Generator:
+    """Echo every datagram back to its sender."""
+    sock = yield Syscall("socket", stype="udp")
+    yield Syscall("bind", sock=sock, port=port)
+    while True:
+        dgram, src, stamp = yield Syscall("recvfrom", sock=sock)
+        yield Syscall("sendto", sock=sock, nbytes=payload_bytes,
+                      addr=src.addr, port=src.port,
+                      payload=dgram.payload)
+
+
+def pingpong_client(clock, dst_addr, dst_port: int,
+                    iterations: int,
+                    recorder: LatencyRecorder,
+                    payload_bytes: int = 1,
+                    done: Optional[list] = None) -> Generator:
+    """Ping-pong *iterations* messages, recording each round trip.
+
+    *clock* is any object with a ``now`` attribute (the simulator).
+    """
+    sock = yield Syscall("socket", stype="udp")
+    # Implicit bind via first sendto; connect for symmetry with the
+    # benchmark programs.
+    yield Syscall("connect", sock=sock, addr=dst_addr, port=dst_port)
+    for seq in range(iterations):
+        start = clock.now
+        yield Syscall("sendto", sock=sock, nbytes=payload_bytes,
+                      payload={"seq": seq})
+        while True:
+            dgram, src, stamp = yield Syscall("recvfrom", sock=sock)
+            payload = dgram.payload
+            if isinstance(payload, dict) and payload.get("seq") == seq:
+                break
+        recorder.record(clock.now - start, now=clock.now)
+    if done is not None:
+        done.append(clock.now)

@@ -1,0 +1,48 @@
+"""The paper's contribution: the four network-subsystem architectures.
+
+The public entry point is :func:`build_host`, which assembles a
+simulated machine running one of the four kernels the paper evaluates
+(:class:`Architecture`).  The cost calibration shared by every
+experiment lives in :mod:`repro.core.costs`.
+"""
+
+from repro.core.app_thread import AppProcessor
+from repro.core.architecture import (
+    Architecture,
+    Host,
+    STACK_CLASSES,
+    build_host,
+)
+from repro.core.bsd_stack import BsdStack
+from repro.core.costs import DEFAULT_COSTS, CostModel
+from repro.core.early_demux import EarlyDemuxStack
+from repro.core.forwarding import (
+    ForwardingDaemon,
+    build_gateway,
+    enable_forwarding,
+)
+from repro.core.lrp_base import LrpStackBase
+from repro.core.ni_lrp import NiLrpStack
+from repro.core.proxy import ProtocolDaemon
+from repro.core.soft_lrp import SoftLrpStack
+from repro.core.stack_base import NetworkStack
+
+__all__ = [
+    "AppProcessor",
+    "Architecture",
+    "BsdStack",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "EarlyDemuxStack",
+    "ForwardingDaemon",
+    "Host",
+    "LrpStackBase",
+    "NetworkStack",
+    "NiLrpStack",
+    "ProtocolDaemon",
+    "STACK_CLASSES",
+    "SoftLrpStack",
+    "build_gateway",
+    "build_host",
+    "enable_forwarding",
+]

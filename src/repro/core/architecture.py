@@ -1,0 +1,88 @@
+"""Architecture selection and host construction.
+
+``build_host`` assembles a complete simulated machine — kernel, NIC,
+and network stack — for any of the four architectures the paper
+evaluates, attached to a shared :class:`~repro.net.link.Network`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.engine.simulator import Simulator
+from repro.host.costs import DEFAULT_COSTS, CostModel
+from repro.host.kernel import Kernel
+from repro.net.link import Network
+from repro.nic.demux import DemuxTable
+from repro.nic.programmable import ProgrammableNic
+from repro.nic.simple import SimpleNic
+from repro.core.bsd_stack import BsdStack
+from repro.core.early_demux import EarlyDemuxStack
+from repro.core.ni_lrp import NiLrpStack
+from repro.core.soft_lrp import SoftLrpStack
+
+
+class Architecture(enum.Enum):
+    """The four kernels of the paper's evaluation."""
+
+    BSD = "4.4BSD"
+    EARLY_DEMUX = "Early-Demux"
+    SOFT_LRP = "SOFT-LRP"
+    NI_LRP = "NI-LRP"
+
+
+STACK_CLASSES = {
+    Architecture.BSD: BsdStack,
+    Architecture.EARLY_DEMUX: EarlyDemuxStack,
+    Architecture.SOFT_LRP: SoftLrpStack,
+    Architecture.NI_LRP: NiLrpStack,
+}
+
+
+class Host:
+    """A complete simulated machine."""
+
+    def __init__(self, kernel: Kernel, nic, stack, addr):
+        self.kernel = kernel
+        self.nic = nic
+        self.stack = stack
+        self.addr = addr
+
+    @property
+    def sim(self) -> Simulator:
+        return self.kernel.sim
+
+    def spawn(self, name, main, **kwargs):
+        return self.kernel.spawn(name, main, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Host {self.addr} {self.stack.arch_name}>"
+
+
+def build_host(sim: Simulator, network: Network, addr,
+               arch: Architecture = Architecture.BSD,
+               costs: CostModel = DEFAULT_COSTS,
+               accounting_policy: str = "interrupted",
+               name: Optional[str] = None,
+               **stack_kwargs) -> Host:
+    """Assemble a host running the given architecture's kernel."""
+    arch = Architecture(arch)
+    kernel = Kernel(sim, costs=costs,
+                    accounting_policy=accounting_policy,
+                    name=name or f"host-{addr}")
+    if arch == Architecture.NI_LRP:
+        # The stack and the NIC share the channel/demux table — that is
+        # the defining property of NI demux.
+        demux_table = DemuxTable()
+        nic = ProgrammableNic(sim, network, addr, demux_table,
+                              demux_cost=costs.ni_demux,
+                              service_gap=costs.ni_service_gap)
+        stack = NiLrpStack(kernel, nic, addr, demux_table=demux_table,
+                           **stack_kwargs)
+    else:
+        nic = SimpleNic(sim, network, addr)
+        stack_cls = STACK_CLASSES[arch]
+        stack = stack_cls(kernel, nic, addr, **stack_kwargs)
+    kernel.nic = nic
+    return Host(kernel, nic, stack, addr)

@@ -1,0 +1,189 @@
+"""The 4.4BSD network subsystem (paper Section 2, Figure 1).
+
+Receive path: the device interrupt captures the packet into an mbuf,
+queues it on the *shared* IP queue and posts a software interrupt.  The
+software interrupt — which outranks every process — performs IP input
+(including reassembly), the PCB lookup, UDP/TCP input, and finally
+queues the data on the destination socket, dropping it there if the
+socket queue is full.  All of this is *eager*: it happens at packet
+arrival time regardless of the receiver's state or priority, and its
+CPU time is charged to whichever process happened to be running.
+
+Every pathology in Section 2.2 is a consequence of this structure, and
+all of them are reproduced mechanistically here: eager processing,
+late packet drop, shared-queue traffic interference, mis-accounting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generator, Optional
+
+from repro.engine.process import Block, Compute, SimProcess
+from repro.host.interrupts import HARDWARE, SOFTWARE, IntrTask
+from repro.net.ip import IPPROTO_ICMP, IPPROTO_TCP, IPPROTO_UDP, IpPacket
+from repro.net.packet import Frame
+from repro.core.stack_base import NetworkStack
+from repro.sockets.socket import Socket
+
+#: BSD IPQ length limit (ipintrq.ifq_maxlen, traditionally 50).
+IPQ_MAXLEN = 50
+
+
+class BsdStack(NetworkStack):
+    """Conventional interrupt-driven architecture."""
+
+    arch_name = "4.4BSD"
+
+    def __init__(self, *args, ipq_maxlen: int = IPQ_MAXLEN, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.ipq: Deque[IpPacket] = deque()
+        self.ipq_maxlen = ipq_maxlen
+        self._softnet_posted = False
+        #: Daemon-bound packets (ICMP etc.) processed in softint too.
+        self.icmp_handler = None
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def rx_interrupt(self, frame: Frame, ring_release) -> IntrTask:
+        charge = self.kernel.accounting.interrupt_charger(self.kernel.cpu)
+
+        def body() -> Generator:
+            yield Compute(self.costs.hw_intr + self.costs.mbuf_alloc)
+            ring_release()
+            self.stats.incr("rx_packets")
+            chain = self.mbufs.try_allocate(frame.packet.total_len,
+                                            frame.packet)
+            if chain is None:
+                self.stats.incr("drop_mbufs")
+                return
+            if len(self.ipq) >= self.ipq_maxlen:
+                # The shared-IP-queue drop: any flow can push any other
+                # flow's packets out here.
+                self.stats.incr("drop_ipq")
+                chain.free()
+                return
+            frame.packet._mbuf_chain = chain
+            self.ipq.append(frame.packet)
+            if not self._softnet_posted:
+                self._softnet_posted = True
+                self.kernel.cpu.post(IntrTask(
+                    self._softnet(), SOFTWARE, "softnet", charge))
+
+        return IntrTask(body(), HARDWARE, "nic-rx", charge)
+
+    def _softnet(self) -> Generator:
+        """The software-interrupt drain loop (ipintr)."""
+        while self.ipq:
+            packet = self.ipq.popleft()
+            yield Compute(self.costs.sw_intr_dispatch)
+            yield from self._ip_input_eager(packet)
+            chain = getattr(packet, "_mbuf_chain", None)
+            if chain is not None:
+                chain.free()
+        self._softnet_posted = False
+
+    def _ip_input_eager(self, packet: IpPacket) -> Generator:
+        """IP + transport input, in software-interrupt context."""
+        yield Compute(self.costs.ip_input)
+        self.stats.incr("ip_in")
+        if not self.is_local_addr(packet.dst):
+            # Transit packet: BSD forwards *in the software interrupt*,
+            # at higher priority than any process and billed to the
+            # interrupted bystander — the gateway pathology of
+            # Section 2.3.
+            if not self.forwarding_enabled:
+                self.stats.incr("drop_not_local")
+                return
+            yield Compute(self.costs.ip_output)
+            if packet.ttl <= 1:
+                self.stats.incr("fwd_ttl_expired")
+                return
+            packet.ttl -= 1
+            self.forward_packet(packet)
+            self.stats.incr("ip_forwarded")
+            return
+        if packet.corrupt:
+            yield Compute(self.costs.checksum_cost(packet.payload_len))
+            self.stats.incr("drop_corrupt")
+            return
+        if packet.is_fragment:
+            yield Compute(self.costs.ip_reassembly_per_frag)
+            packet = self.reassemble(packet)
+            if packet is None:
+                return
+        if packet.proto == IPPROTO_UDP:
+            yield from self._udp_input_eager(packet)
+        elif packet.proto == IPPROTO_TCP:
+            yield from self._tcp_input_eager(packet)
+        elif packet.proto == IPPROTO_ICMP:
+            yield from self._icmp_input(packet)
+        else:
+            self.stats.incr("drop_unknown_proto")
+
+    def _udp_input_eager(self, packet: IpPacket) -> Generator:
+        yield Compute(self.costs.pcb_lookup)
+        dgram = packet.transport
+        sock: Optional[Socket] = self.udp_pcb.lookup(
+            packet.dst, dgram.dst_port, packet.src, dgram.src_port)
+        if sock is None:
+            self.stats.incr("drop_pcb_miss")
+            return
+        cost = self.costs.udp_input + self.costs.socket_enqueue
+        if self.checksum_enabled and dgram.checksum_enabled:
+            cost += self.costs.checksum_cost(dgram.payload_len)
+        yield Compute(cost)
+        self.udp_deliver_to_socket(sock, packet)
+
+    def _tcp_input_eager(self, packet: IpPacket) -> Generator:
+        yield Compute(self.costs.pcb_lookup)
+        seg = packet.transport
+        sock: Optional[Socket] = self.tcp_pcb.lookup(
+            packet.dst, seg.dst_port, packet.src, seg.src_port)
+        if sock is None:
+            self.stats.incr("drop_tcp_pcb_miss")
+            return
+        yield from self.tcp_input_gen(sock, packet)
+
+    def _icmp_input(self, packet: IpPacket) -> Generator:
+        """ICMP handled inline in the software interrupt (BSD has no
+        daemon proxy; compare core.proxy for the LRP treatment)."""
+        yield Compute(self.costs.udp_input)
+        self.stats.incr("icmp_in")
+        if self.icmp_handler is not None:
+            reply = self.icmp_handler(packet)
+            if reply is not None:
+                yield Compute(self.costs.ip_output)
+                self.ip_output(reply, packet.src, IPPROTO_ICMP,
+                               reply.total_len)
+
+    # ------------------------------------------------------------------
+    # UDP receive syscall: wait on the socket queue
+    # ------------------------------------------------------------------
+    def recv_dgram_gen(self, proc: SimProcess, sock: Socket) -> Generator:
+        while True:
+            item = sock.rcv_dgrams.pop()
+            if item is not None:
+                (dgram, stamp), src = item
+                yield Compute(self.costs.dequeue
+                              + self.costs.copy_cost(dgram.payload_len)
+                              + self.costs.mbuf_free)
+                sock.msgs_received += 1
+                sock.bytes_received += dgram.payload_len
+                self.stats.incr("udp_delivered")
+                return dgram, src, stamp
+            yield Block(sock.rcv_wait)
+
+    # ------------------------------------------------------------------
+    # Asynchronous TCP work: software interrupts
+    # ------------------------------------------------------------------
+    def post_tcp_work(self, sock: Socket, kind: str) -> None:
+        charge = self.kernel.accounting.interrupt_charger(self.kernel.cpu)
+
+        def body() -> Generator:
+            yield Compute(self.costs.sw_intr_dispatch)
+            yield from self.tcp_timer_gen(sock, kind)
+
+        self.kernel.cpu.post(
+            IntrTask(body(), SOFTWARE, f"tcp-{kind}", charge))

@@ -1,0 +1,11 @@
+"""Cost calibration, re-exported at the contribution layer.
+
+The constants physically live in :mod:`repro.host.costs` (they are
+host properties, not architecture properties); experiments and users
+import them from here.  See EXPERIMENTS.md for how the defaults were
+fitted to the paper's Table 1 / Figure 3 anchors.
+"""
+
+from repro.host.costs import DEFAULT_COSTS, CostModel
+
+__all__ = ["CostModel", "DEFAULT_COSTS"]

@@ -1,0 +1,134 @@
+"""Early-Demux: early demultiplexing *without* lazy processing.
+
+The control kernel of Figure 3 and the Section 3 design argument:
+"early demultiplexing by itself is not sufficient to provide stability
+and fairness under overload."  This kernel demultiplexes in the
+interrupt handler (like SOFT-LRP), drops packets whose destination
+socket's receive queue is full (early discard), and otherwise
+*eagerly* schedules a software interrupt that performs the protocol
+processing at higher-than-any-process priority with BSD accounting —
+exactly eager receiver processing minus the PCB lookup.
+
+Its weaknesses, which the experiments expose: eager per-packet
+software interrupts still preempt and bill the wrong process, and
+packets that never enter a socket queue (control packets, corrupted
+packets) provide no back-pressure signal at all, so floods of them
+livelock the system just as they do under BSD.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.engine.process import Block, Compute, SimProcess
+from repro.host.interrupts import HARDWARE, SOFTWARE, IntrTask
+from repro.net.ip import IPPROTO_ICMP, IPPROTO_TCP, IPPROTO_UDP, IpPacket
+from repro.net.packet import Frame
+from repro.core.lrp_base import LrpStackBase
+from repro.sockets.socket import Socket, SockType
+
+
+class EarlyDemuxStack(LrpStackBase):
+    """Early demultiplexing with eager protocol processing."""
+
+    arch_name = "Early-Demux"
+
+    def __init__(self, *args, **kwargs):
+        # No idle thread, no APP process: processing is eager, never
+        # deferred, exactly as in BSD.
+        kwargs.setdefault("enable_idle_thread", False)
+        kwargs.setdefault("enable_app_thread", False)
+        super().__init__(*args, **kwargs)
+
+    def listener_backlog_changed(self, listener: Socket) -> None:
+        """No LRP backlog feedback: SYNs for over-backlog listeners
+        are still processed eagerly and dropped late, as in BSD."""
+
+    # ------------------------------------------------------------------
+    def rx_interrupt(self, frame: Frame, ring_release) -> IntrTask:
+        charge = self.kernel.accounting.interrupt_charger(self.kernel.cpu)
+
+        def hw_body() -> Generator:
+            yield Compute(self.costs.hw_intr + self.costs.soft_demux)
+            ring_release()
+            self.stats.incr("rx_packets")
+            outcome, channel = self.demux_table.demux(frame.packet)
+            if channel is None:
+                self.stats.incr("drop_demux_unmatched")
+                return
+            sock = channel.owner_socket
+            if (sock is not None and sock.stype == SockType.DGRAM
+                    and sock.rcv_dgrams is not None
+                    and len(sock.rcv_dgrams._queue)
+                    >= sock.rcv_dgrams.depth):
+                # Early packet discard — but note: only works for
+                # packets that would have entered a data queue.
+                self.stats.incr("drop_early_sockq_full")
+                channel.discarded_full += 1
+                return
+            self.kernel.cpu.post(IntrTask(
+                self._eager_input(frame.packet), SOFTWARE,
+                "early-demux-input", charge))
+
+        return IntrTask(hw_body(), HARDWARE, "rx-demux", charge)
+
+    def _eager_input(self, packet: IpPacket) -> Generator:
+        """Per-packet software interrupt: BSD processing minus the PCB
+        lookup (the demux already identified the endpoint)."""
+        yield Compute(self.costs.sw_intr_dispatch + self.costs.ip_input)
+        self.stats.incr("ip_in")
+        if packet.corrupt:
+            yield Compute(self.costs.checksum_cost(packet.payload_len))
+            self.stats.incr("drop_corrupt")
+            return
+        if packet.is_fragment:
+            yield Compute(self.costs.ip_reassembly_per_frag)
+            packet = self.reassemble(packet)
+            if packet is None:
+                return
+        if packet.proto == IPPROTO_UDP:
+            sock = self._socket_for(packet)
+            if sock is None:
+                self.stats.incr("drop_pcb_miss")
+                return
+            yield Compute(self.costs.udp_input
+                          + self.costs.socket_enqueue)
+            self.udp_deliver_to_socket(sock, packet)
+        elif packet.proto == IPPROTO_TCP:
+            seg = packet.transport
+            sock = self.tcp_pcb.lookup(packet.dst, seg.dst_port,
+                                       packet.src, seg.src_port)
+            if sock is None:
+                self.stats.incr("drop_tcp_pcb_miss")
+                return
+            yield from self.tcp_input_gen(sock, packet)
+
+    # ------------------------------------------------------------------
+    # Receive syscall: plain BSD semantics (socket queue only).
+    # ------------------------------------------------------------------
+    def recv_dgram_gen(self, proc: SimProcess, sock: Socket) -> Generator:
+        while True:
+            item = sock.rcv_dgrams.pop()
+            if item is not None:
+                (dgram, stamp), src = item
+                yield Compute(self.costs.dequeue
+                              + self.costs.copy_cost(dgram.payload_len)
+                              + self.costs.mbuf_free)
+                sock.msgs_received += 1
+                sock.bytes_received += dgram.payload_len
+                self.stats.incr("udp_delivered")
+                return dgram, src, stamp
+            yield Block(sock.rcv_wait)
+
+    # ------------------------------------------------------------------
+    # Asynchronous TCP work: software interrupts, as in BSD.
+    # ------------------------------------------------------------------
+    def post_tcp_work(self, sock: Socket, kind: str) -> None:
+        charge = self.kernel.accounting.interrupt_charger(self.kernel.cpu)
+
+        def body() -> Generator:
+            yield Compute(self.costs.sw_intr_dispatch)
+            yield from self.tcp_timer_gen(sock, kind)
+
+        self.kernel.cpu.post(
+            IntrTask(body(), SOFTWARE, f"tcp-{kind}", charge))

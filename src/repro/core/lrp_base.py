@@ -1,0 +1,327 @@
+"""Shared machinery of the LRP architectures (SOFT-LRP and NI-LRP).
+
+Both variants demultiplex early into per-socket NI channels and process
+protocol input lazily at the receiver's priority; they differ only in
+*where* the demux function runs (host interrupt handler vs. NIC
+firmware).  This base class implements:
+
+* NI channel lifecycle tied to socket binding (Section 3.1);
+* the lazy UDP receive path — IP and UDP input run as generator frames
+  inside ``recvfrom``, charged to the receiving process (Section 3.3);
+* the minimal-priority kernel thread that performs protocol processing
+  for queued UDP packets when the CPU would otherwise idle, so LRP
+  does not add latency when the receiver is busy elsewhere
+  (Section 3.3);
+* the APP kernel process for asynchronous TCP processing at the
+  receiver's priority (Section 3.4);
+* listener-backlog feedback that disables channel processing so SYN
+  floods are shed at the NI channel (Sections 3.4, 4.2);
+* channel notification routing (receiver wakeup with interrupt
+  suppression, APP notification, daemon wakeup).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.engine.process import Block, Compute, Sleep, SimProcess, WaitChannel
+from repro.net.addr import endpoint
+from repro.net.ip import IPPROTO_TCP, IPPROTO_UDP, IpPacket
+from repro.nic.channels import NiChannel
+from repro.nic.demux import flow_key
+from repro.core.app_thread import AppProcessor, PerProcessAppProcessor
+from repro.core.stack_base import NetworkStack
+from repro.sockets.socket import Socket, SockType
+
+#: Poll period of the idle-priority protocol thread, microseconds.
+IDLE_THREAD_POLL = 1_000.0
+#: Pinned priority of the idle thread: numerically above (worse than)
+#: the scheduler's entire [0, 127] range.
+IDLE_THREAD_PRIORITY = 200.0
+
+
+class LrpStackBase(NetworkStack):
+    """Common behaviour of SOFT-LRP and NI-LRP."""
+
+    def __init__(self, *args, channel_depth: int = 50,
+                 enable_idle_thread: bool = True,
+                 enable_app_thread: bool = True,
+                 app_mode: str = "kernel-process", **kwargs):
+        super().__init__(*args, **kwargs)
+        self.channel_depth = channel_depth
+        self.udp_channels: List[NiChannel] = []
+        self.demux_table.fragment_channel.kind = "frag"
+        #: Section 3.4 offers two APP placements: the prototype's
+        #: single dedicated kernel process, or one thread per
+        #: application process (the paper's preferred design).
+        if not enable_app_thread:
+            self.app = None
+        elif app_mode == "kernel-process":
+            self.app = AppProcessor(self)
+        elif app_mode == "per-process":
+            self.app = PerProcessAppProcessor(self)
+        else:
+            raise ValueError(f"unknown app_mode {app_mode!r}")
+        self.idle_thread: Optional[SimProcess] = None
+        if enable_idle_thread:
+            self.idle_thread = self.kernel.spawn(
+                "lrp-idle", self._idle_main(), nice=20,
+                working_set_kb=8.0)
+            # Truly minimal priority: below every application, even
+            # fully decayed nice +20 spinners.
+            self.idle_thread.fixed_priority = True
+            self.idle_thread.usrpri = IDLE_THREAD_PRIORITY
+
+    # ------------------------------------------------------------------
+    # NI channel lifecycle (Section 3.1)
+    # ------------------------------------------------------------------
+    def endpoint_attached(self, sock: Socket) -> None:
+        if sock.channel is None and getattr(sock, "shared_bind", False):
+            # Multicast-style group: all members share the first
+            # member's NI channel (Section 3.1).
+            for member in self.udp_pcb.members(sock.local.port):
+                if member is not sock and member.channel is not None:
+                    sock.channel = member.channel
+                    member.channel.members.append(sock)
+                    self.stats.incr("channels_shared")
+                    return
+        if sock.channel is None:
+            kind = "udp" if sock.stype == SockType.DGRAM else "tcp"
+            channel = NiChannel(f"ch-{sock.id}", depth=self.channel_depth,
+                                kind=kind)
+            channel.owner_socket = sock
+            channel.members.append(sock)
+            channel.wait_channel = WaitChannel(f"nichan-{sock.id}")
+            if kind == "tcp":
+                # TCP channels always interrupt on empty->non-empty:
+                # the APP process must see segments promptly.
+                channel.interrupts_requested = True
+            sock.channel = channel
+            if kind == "udp":
+                self.udp_channels.append(channel)
+        proto = (IPPROTO_UDP if sock.stype == SockType.DGRAM
+                 else IPPROTO_TCP)
+        if sock.stype == SockType.STREAM and sock.peer is not None:
+            self.demux_table.register_exact(
+                flow_key(proto, sock.local.addr, sock.local.port,
+                         sock.peer.addr, sock.peer.port), sock.channel)
+        else:
+            self.demux_table.register_wildcard(
+                proto, sock.local.port, sock.channel)
+        self.stats.incr("channels_created")
+
+    def endpoint_detached(self, sock: Socket) -> None:
+        channel = sock.channel
+        if channel is None:
+            return
+        if sock in channel.members:
+            channel.members.remove(sock)
+        if channel.members:
+            # Other group members still use the channel; just drop our
+            # reference (the wildcard registration stays with them).
+            if channel.owner_socket is sock:
+                channel.owner_socket = channel.members[0]
+            sock.channel = None
+            return
+        proto = (IPPROTO_UDP if sock.stype == SockType.DGRAM
+                 else IPPROTO_TCP)
+        if sock.stype == SockType.STREAM and sock.peer is not None \
+                and sock.local is not None:
+            self.demux_table.unregister_exact(
+                flow_key(proto, sock.local.addr, sock.local.port,
+                         sock.peer.addr, sock.peer.port))
+        if sock.local is not None:
+            registered = self.demux_table._wildcard.get(
+                (proto, sock.local.port))
+            if registered is channel:
+                self.demux_table.unregister_wildcard(
+                    proto, sock.local.port)
+        if channel in self.udp_channels:
+            self.udp_channels.remove(channel)
+        sock.channel = None
+
+    def listener_backlog_changed(self, listener: Socket) -> None:
+        """The Section 3.4 feedback: an over-backlog listener's channel
+        stops accepting packets, so further SYNs are discarded at the
+        NI (or demux handler) for free."""
+        channel = listener.channel
+        if channel is None:
+            return
+        enabled = not listener.backlog_full()
+        if enabled != channel.processing_enabled:
+            channel.processing_enabled = enabled
+            self.stats.incr("backlog_feedback_flips")
+
+    # ------------------------------------------------------------------
+    # Channel notification routing
+    # ------------------------------------------------------------------
+    def on_channel_filled(self, channel: NiChannel,
+                          was_empty: bool) -> None:
+        """A packet was enqueued; wake whoever should process it.
+        Called from interrupt context (SOFT-LRP) or the NI wakeup
+        interrupt (NI-LRP)."""
+        if channel.kind == "tcp":
+            sock = channel.owner_socket
+            if sock is not None and self.app is not None:
+                self.app.notify(sock, "input")
+        elif channel.kind == "udp":
+            if was_empty and channel.interrupts_requested:
+                channel.interrupts_requested = False
+                self.kernel.wake_one(channel.wait_channel)
+        elif channel.kind == "daemon":
+            if channel.interrupts_requested:
+                channel.interrupts_requested = False
+                self.kernel.wake_one(channel.wait_channel)
+        # "frag" channels are polled by reassembly; no wakeup.
+
+    # ------------------------------------------------------------------
+    # Lazy UDP receive (Section 3.3)
+    # ------------------------------------------------------------------
+    def recv_dgram_gen(self, proc: SimProcess, sock: Socket) -> Generator:
+        while True:
+            # Packets the idle thread already processed.
+            item = sock.rcv_dgrams.pop()
+            if item is not None:
+                (dgram, stamp), src = item
+                yield Compute(self.costs.dequeue
+                              + self.costs.copy_cost(dgram.payload_len)
+                              + self.costs.mbuf_free)
+                sock.msgs_received += 1
+                sock.bytes_received += dgram.payload_len
+                self.stats.incr("udp_delivered")
+                return dgram, src, stamp
+            channel = sock.channel
+            packet = channel.pop() if channel is not None else None
+            if packet is not None:
+                yield Compute(self.channel_pop_cost)
+                result = yield from self.lazy_udp_input(sock, packet)
+                if result is None:
+                    continue  # incomplete fragment / corrupt packet
+                dgram, src, stamp = result
+                if len(channel.members) > 1:
+                    # Multicast fan-out: the lazy processor delivers a
+                    # copy to every other group member's socket queue.
+                    for member in channel.members:
+                        if member is sock:
+                            continue
+                        yield Compute(self.costs.socket_enqueue)
+                        member.rcv_dgrams.offer((dgram, stamp), src)
+                        self.kernel.wake_one(member.rcv_wait)
+                    # Members may be parked on the shared channel's
+                    # wait queue rather than their socket's; rouse
+                    # them all — each re-checks its own queue.
+                    self.kernel.wake_all(channel.wait_channel)
+                yield Compute(self.costs.copy_cost(dgram.payload_len)
+                              + self.costs.mbuf_free)
+                sock.msgs_received += 1
+                sock.bytes_received += dgram.payload_len
+                self.stats.incr("udp_delivered")
+                return dgram, src, stamp
+            if channel is None:
+                yield Block(sock.rcv_wait)
+                continue
+            # Nothing queued: request an interrupt and sleep.  No yield
+            # occurs between the emptiness check and the flag store, so
+            # there is no lost-wakeup window.
+            channel.interrupts_requested = True
+            yield Block(channel.wait_channel)
+
+    def lazy_udp_input(self, sock: Socket,
+                       packet: IpPacket) -> Generator:
+        """IP + UDP input for one packet, in the caller's context.
+        Returns ``(dgram, source, stamp)`` or ``None``."""
+        yield Compute(self.costs.ip_input)
+        self.stats.incr("ip_in")
+        if packet.corrupt:
+            yield Compute(self.costs.checksum_cost(packet.payload_len))
+            self.stats.incr("drop_corrupt")
+            return None
+        if packet.is_fragment:
+            yield Compute(self.costs.ip_reassembly_per_frag)
+            whole = self.reassemble(packet)
+            if whole is None:
+                # Missing pieces may sit on the special NI channel
+                # (fragments that arrived before their head fragment).
+                whole = yield from self._drain_fragment_channel(sock)
+            if whole is None:
+                return None
+            packet = whole
+        if self.redundant_pcb_lookup:
+            # Figure 5 fairness control: pay the BSD lookup cost even
+            # though demux already identified the socket.
+            yield Compute(self.costs.pcb_lookup)
+            dgram = packet.transport
+            self.udp_pcb.lookup(packet.dst, dgram.dst_port,
+                                packet.src, dgram.src_port)
+        dgram = packet.transport
+        cost = self.costs.udp_input
+        if self.checksum_enabled and dgram.checksum_enabled:
+            cost += self.costs.checksum_cost(dgram.payload_len)
+        yield Compute(cost)
+        return (dgram, endpoint(packet.src, dgram.src_port),
+                packet.stamp)
+
+    def _drain_fragment_channel(self, sock: Socket) -> Generator:
+        """Feed parked fragments into reassembly; returns a datagram
+        completed *for this socket* if one appears."""
+        ours = None
+        while True:
+            fragment = self.demux_table.fragment_channel.pop()
+            if fragment is None:
+                break
+            yield Compute(self.costs.ip_reassembly_per_frag)
+            whole = self.reassemble(fragment)
+            if whole is None:
+                continue
+            if self._owns(sock, whole):
+                ours = whole
+            else:
+                # Another socket's datagram completed: deliver eagerly.
+                other = self._socket_for(whole)
+                if other is not None:
+                    yield Compute(self.costs.udp_input)
+                    self.udp_deliver_to_socket(other, whole)
+        return ours
+
+    def _owns(self, sock: Socket, packet: IpPacket) -> bool:
+        return (sock.local is not None and packet.transport is not None
+                and packet.transport.dst_port == sock.local.port)
+
+    def _socket_for(self, packet: IpPacket) -> Optional[Socket]:
+        transport = packet.transport
+        if transport is None:
+            return None
+        return self.udp_pcb.lookup(packet.dst, transport.dst_port,
+                                   packet.src, transport.src_port)
+
+    # ------------------------------------------------------------------
+    # Idle-priority protocol thread (Section 3.3)
+    # ------------------------------------------------------------------
+    def _idle_main(self) -> Generator:
+        proc = self.idle_thread
+        while True:
+            processed = False
+            for channel in list(self.udp_channels):
+                sock = channel.owner_socket
+                if sock is None or len(channel) == 0:
+                    continue
+                if len(sock.rcv_dgrams._queue) >= sock.rcv_dgrams.depth:
+                    continue  # no room; leave packets on the channel
+                packet = channel.pop()
+                owner = sock.owner
+                if proc is not None and owner is not None and owner.alive:
+                    proc.charge_to = owner
+                try:
+                    yield Compute(self.channel_pop_cost)
+                    result = yield from self.lazy_udp_input(sock, packet)
+                finally:
+                    if proc is not None:
+                        proc.charge_to = None
+                        proc.usrpri = IDLE_THREAD_PRIORITY
+                if result is not None:
+                    dgram, src, stamp = result
+                    sock.rcv_dgrams.offer((dgram, stamp), src)
+                    self.kernel.wake_one(sock.rcv_wait)
+                processed = True
+            if not processed:
+                yield Sleep(IDLE_THREAD_POLL)

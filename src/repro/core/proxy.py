@@ -1,0 +1,70 @@
+"""Protocol daemon proxies (paper Section 3.5).
+
+"Processing for certain network packets cannot be directly attributed
+to any application process ... In LRP, this processing is charged to
+daemon processes that act as proxies for a particular protocol.  These
+daemons have an associated NI channel, and packets for such protocols
+are demultiplexed directly onto the corresponding channel."
+
+The daemon competes for CPU like any process: its nice value is the
+administrator's knob for how much of the machine ICMP handling (or IP
+forwarding) may consume.  Under overload its channel fills and the NI
+discards — the same early-discard feedback as data sockets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.engine.process import Block, Compute, WaitChannel
+from repro.net.ip import IpPacket
+from repro.nic.channels import NiChannel
+from repro.proto.icmp import IcmpMessage, make_reply
+
+
+class ProtocolDaemon:
+    """A proxy process owning one protocol's NI channel."""
+
+    def __init__(self, stack, ip_proto: int, name: str,
+                 handler: Optional[Callable[[IpPacket],
+                                            Optional[IcmpMessage]]] = None,
+                 nice: int = 0, channel_depth: int = 50):
+        self.stack = stack
+        self.ip_proto = ip_proto
+        self.name = name
+        self.handler = handler if handler is not None else self._default
+        self.channel = NiChannel(f"daemon-{name}", depth=channel_depth,
+                                 kind="daemon")
+        self.channel.wait_channel = WaitChannel(f"daemon-{name}")
+        stack.demux_table.register_daemon(ip_proto, self.channel)
+        self.processed = 0
+        self.proc = stack.kernel.spawn(f"{name}d", self._main(),
+                                       nice=nice, working_set_kb=8.0)
+
+    def _default(self, packet: IpPacket) -> Optional[IcmpMessage]:
+        """Default behaviour: answer ICMP echo requests."""
+        transport = packet.transport
+        if isinstance(transport, IcmpMessage):
+            return make_reply(transport)
+        return None
+
+    def _main(self) -> Generator:
+        stack = self.stack
+        costs = stack.costs
+        while True:
+            packet = self.channel.pop()
+            if packet is None:
+                self.channel.interrupts_requested = True
+                yield Block(self.channel.wait_channel)
+                continue
+            # Protocol processing in daemon context: charged to the
+            # daemon, scheduled at the daemon's priority.
+            yield Compute(costs.ip_input + costs.udp_input)
+            self.processed += 1
+            stack.stats.incr(f"daemon_{self.name}_in")
+            reply = self.handler(packet)
+            if reply is not None:
+                yield Compute(costs.ip_output)
+                stack.ip_output(reply, packet.src, self.ip_proto,
+                                reply.total_len)
+                stack.stats.incr(f"daemon_{self.name}_out")

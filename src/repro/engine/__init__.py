@@ -1,0 +1,32 @@
+"""Discrete-event simulation engine (clock, events, processes)."""
+
+from repro.engine.event import Event, EventQueue
+from repro.engine.process import (
+    Block,
+    Compute,
+    Exit,
+    ProcState,
+    Request,
+    SimProcess,
+    Sleep,
+    Syscall,
+    WaitChannel,
+)
+from repro.engine.simulator import USEC_PER_SEC, SimulationError, Simulator
+
+__all__ = [
+    "Block",
+    "Compute",
+    "Event",
+    "EventQueue",
+    "Exit",
+    "ProcState",
+    "Request",
+    "SimProcess",
+    "SimulationError",
+    "Simulator",
+    "Sleep",
+    "Syscall",
+    "USEC_PER_SEC",
+    "WaitChannel",
+]

@@ -1,0 +1,14 @@
+"""Experiment harnesses reproducing every table and figure."""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    figure3,
+    figure4,
+    figure5,
+    sensitivity,
+    table1,
+    table2,
+)
+
+__all__ = ["ablations", "figure3", "figure4", "figure5",
+           "sensitivity", "table1", "table2"]

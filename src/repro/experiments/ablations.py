@@ -1,0 +1,174 @@
+"""Ablation experiments for LRP's design arguments.
+
+The paper argues (Section 3) that *both* key techniques are necessary:
+
+1. ``demux`` ablation — early demultiplexing without lazy processing
+   is "still defenseless against overload from incoming packets that
+   do not contain valid user data.  For example, a flood of control
+   messages or corrupted data packets can still cause livelock.  This
+   is because processing of these packets does not result in the
+   placement of data in the socket queue, thus defeating the only
+   feedback mechanism that can effect early packet discard."
+   We flood corrupted UDP packets at a bound socket and measure a
+   victim process's throughput on each architecture.
+
+2. ``accounting`` ablation — how much of BSD's Figure 4 latency damage
+   is due to *charging the wrong process*?  We re-run the ping-pong +
+   blast workload on BSD under three accounting policies (interrupted
+   / receiver / system) and compare round-trip times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.engine.process import Compute, Syscall
+from repro.core import Architecture
+from repro.apps import pingpong_client, pingpong_server, spinner, \
+    udp_blast_sink
+from repro.stats.metrics import LatencyRecorder
+from repro.stats.report import format_series, format_table
+from repro.workloads import RawUdpInjector
+from repro.experiments.common import (
+    CLIENT_A_ADDR,
+    CLIENT_C_ADDR,
+    SERVER_ADDR,
+    Testbed,
+    delayed,
+)
+
+ALL_SYSTEMS = (Architecture.BSD, Architecture.EARLY_DEMUX,
+               Architecture.SOFT_LRP, Architecture.NI_LRP)
+
+
+# ----------------------------------------------------------------------
+# Ablation 1: corrupted-packet flood (laziness matters)
+# ----------------------------------------------------------------------
+def run_corrupt_flood_point(arch: Architecture, rate_pps: float,
+                            warmup_usec: float = 300_000.0,
+                            window_usec: float = 700_000.0,
+                            seed: int = 1) -> Dict[str, float]:
+    """Flood corrupt packets at a *bound* socket; measure how much CPU
+    a compute-bound victim process retains.
+
+    Corrupt packets never enter the data queue: under Early-Demux the
+    per-socket queue stays empty, so early discard never engages and
+    each packet is processed eagerly at interrupt priority.  Under LRP
+    the channel itself is the feedback queue, so the flood is shed as
+    soon as the receiver falls behind.
+    """
+    bed = Testbed(seed=seed)
+    server = bed.add_host(SERVER_ADDR, arch)
+    injector = RawUdpInjector(bed.sim, bed.network, CLIENT_C_ADDR,
+                              SERVER_ADDR, 9000)
+    injector.corrupt_fraction = 1.0
+
+    progress: List[float] = []
+
+    def victim():
+        while True:
+            yield Compute(1_000.0)
+            if bed.sim.now >= warmup_usec:
+                progress.append(bed.sim.now)
+
+    def sink():
+        sock = yield Syscall("socket", stype="udp")
+        yield Syscall("bind", sock=sock, port=9000)
+        while True:
+            yield Syscall("recvfrom", sock=sock)
+
+    server.spawn("victim", victim())
+    server.spawn("flooded-sink", sink())
+    bed.sim.schedule(50_000.0, injector.start, rate_pps)
+    bed.run(warmup_usec + window_usec)
+
+    victim_cpu_share = len(progress) * 1_000.0 / window_usec
+    return {"rate_pps": rate_pps,
+            "victim_cpu_share": victim_cpu_share}
+
+
+def run_corrupt_flood(rates: Sequence[float] = (0, 4000, 8000, 12000,
+                                                16000, 20000),
+                      systems: Sequence[Architecture] = ALL_SYSTEMS,
+                      **kwargs) -> Dict:
+    series = {}
+    for arch in systems:
+        pts = [run_corrupt_flood_point(arch, rate, **kwargs)
+               for rate in rates]
+        series[arch.value] = [(p["rate_pps"],
+                               round(p["victim_cpu_share"], 3))
+                              for p in pts]
+    return {"series": series}
+
+
+# ----------------------------------------------------------------------
+# Ablation 2: accounting policy (who gets billed matters)
+# ----------------------------------------------------------------------
+def run_accounting_point(policy: str, background_pps: float,
+                         duration_usec: float = 1_500_000.0,
+                         warmup_usec: float = 400_000.0,
+                         seed: int = 1) -> float:
+    """Figure 4's workload on BSD under a given accounting policy."""
+    bed = Testbed(seed=seed)
+    server = bed.add_host(SERVER_ADDR, Architecture.BSD,
+                          accounting_policy=policy)
+    client = bed.add_host(CLIENT_A_ADDR, Architecture.BSD,
+                          accounting_policy=policy)
+    injector = RawUdpInjector(bed.sim, bed.network, CLIENT_C_ADDR,
+                              SERVER_ADDR, 9000)
+    recorder = LatencyRecorder()
+    server.spawn("pp-server", pingpong_server(7000))
+    server.spawn("blast-sink", udp_blast_sink(9000))
+    server.spawn("spin-b", spinner(), nice=20)
+    client.spawn("pp-client",
+                 delayed(20_000.0, pingpong_client(
+                     bed.sim, SERVER_ADDR, 7000, 10_000_000,
+                     recorder)))
+    client.spawn("spin-a", spinner(), nice=20)
+    if background_pps > 0:
+        bed.sim.schedule(50_000.0, injector.start, background_pps)
+    bed.run(duration_usec)
+    samples = recorder.samples_since(warmup_usec)
+    return (sum(samples) / len(samples)) if samples else float("nan")
+
+
+def run_accounting(rates: Sequence[float] = (0, 2000, 4000, 6000),
+                   policies: Sequence[str] = ("interrupted", "receiver",
+                                              "system"),
+                   **kwargs) -> Dict:
+    series = {}
+    for policy in policies:
+        series[f"BSD/{policy}"] = [
+            (rate, round(run_accounting_point(policy, rate, **kwargs), 1))
+            for rate in rates]
+    return {"series": series}
+
+
+# ----------------------------------------------------------------------
+def report(corrupt: Dict, accounting: Dict) -> str:
+    out = [format_series(
+        "Ablation: corrupt-packet flood (victim CPU share)",
+        "flood pps", "share", corrupt["series"])]
+    out.append("")
+    out.append(format_series(
+        "Ablation: interrupt accounting policy (ping-pong RTT, BSD)",
+        "blast pps", "RTT us", accounting["series"]))
+    return "\n".join(out)
+
+
+def main(fast: bool = False) -> str:
+    if fast:
+        corrupt = run_corrupt_flood(rates=(0, 8000, 16000),
+                                    window_usec=400_000.0)
+        accounting = run_accounting(rates=(0, 4000, 6000),
+                                    duration_usec=900_000.0)
+    else:
+        corrupt = run_corrupt_flood()
+        accounting = run_accounting()
+    text = report(corrupt, accounting)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Command-line entry point: ``python -m repro.experiments <name>``.
+
+Runs one (or all) of the paper's experiments and prints the same
+rows/series the paper reports.  ``--fast`` shrinks sweep sizes and
+measurement windows for quick checks; the full runs are what
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ablations,
+    figure3,
+    figure4,
+    figure5,
+    sensitivity,
+    table1,
+    table2,
+)
+
+EXPERIMENTS = {
+    "table1": table1.main,
+    "figure3": figure3.main,
+    "figure4": figure4.main,
+    "table2": table2.main,
+    "figure5": figure5.main,
+    "ablations": ablations.main,
+    "sensitivity": sensitivity.main,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lrp-experiments",
+        description="Reproduce the LRP paper's tables and figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which experiment to run")
+    parser.add_argument("--fast", action="store_true",
+                        help="smaller sweeps / shorter windows")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        print(f"\n##### {name} #####")
+        EXPERIMENTS[name](fast=args.fast)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

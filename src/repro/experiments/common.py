@@ -1,0 +1,68 @@
+"""Shared experiment scaffolding.
+
+Every experiment builds one or more simulated machines on a LAN, runs
+a warmup interval, measures inside a window, and reports rows/series
+shaped like the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, Optional
+
+from repro.engine.process import Sleep
+from repro.engine.simulator import Simulator
+from repro.net.link import Network
+from repro.core import Architecture, build_host
+from repro.core.costs import DEFAULT_COSTS
+
+#: Canonical addresses for the three-machine testbed.
+SERVER_ADDR = "10.0.0.1"
+CLIENT_A_ADDR = "10.0.0.2"
+CLIENT_C_ADDR = "10.0.0.3"
+
+#: The three systems most experiments compare (Figure 3 adds
+#: Early-Demux).
+MAIN_SYSTEMS = (Architecture.BSD, Architecture.SOFT_LRP,
+                Architecture.NI_LRP)
+
+
+def delayed(usec: float, gen: Generator) -> Generator:
+    """Run *gen* after an initial sleep (staggers process start-up so
+    clients never race server binds)."""
+    yield Sleep(usec)
+    yield from gen
+
+
+class Testbed:
+    """A simulator, a LAN, and helper construction methods."""
+
+    def __init__(self, seed: int = 1,
+                 congestion_knee_pps: Optional[float] = None,
+                 costs=DEFAULT_COSTS):
+        self.sim = Simulator(seed=seed)
+        self.network = Network(self.sim,
+                               congestion_knee_pps=congestion_knee_pps)
+        self.costs = costs
+        self.hosts = []
+
+    def add_host(self, addr, arch: Architecture, **kwargs):
+        host = build_host(self.sim, self.network, addr, arch,
+                          costs=self.costs, **kwargs)
+        self.hosts.append(host)
+        return host
+
+    def run(self, until_usec: float) -> None:
+        self.sim.run_until(until_usec)
+        for host in self.hosts:
+            host.kernel.cpu.finalize_stats()
+
+
+def count_in_window(stamps: Iterable[float], start: float,
+                    end: float) -> int:
+    return sum(1 for t in stamps if start <= t < end)
+
+
+def rate_in_window(stamps: Iterable[float], start: float,
+                   end: float) -> float:
+    n = count_in_window(stamps, start, end)
+    return n * 1e6 / (end - start)

@@ -1,0 +1,42 @@
+"""Simulated host: CPU, interrupts, scheduler, accounting, kernel."""
+
+from repro.host.accounting import Accounting
+from repro.host.cache import CacheModel
+from repro.host.costs import DEFAULT_COSTS, CostModel
+from repro.host.cpu import Cpu
+from repro.host.interrupts import (
+    HARDWARE,
+    PROCESS,
+    SOFTWARE,
+    InterruptContextError,
+    IntrTask,
+    simple_task,
+)
+from repro.host.kernel import Kernel, KernelPanic, ProcContext
+from repro.host.scheduler import (
+    PUSER,
+    TICK_USEC,
+    Scheduler,
+    priority_for,
+)
+
+__all__ = [
+    "Accounting",
+    "CacheModel",
+    "CostModel",
+    "Cpu",
+    "DEFAULT_COSTS",
+    "HARDWARE",
+    "InterruptContextError",
+    "IntrTask",
+    "Kernel",
+    "KernelPanic",
+    "PROCESS",
+    "ProcContext",
+    "PUSER",
+    "Scheduler",
+    "SOFTWARE",
+    "TICK_USEC",
+    "priority_for",
+    "simple_task",
+]

@@ -1,0 +1,108 @@
+"""A coarse cache-locality model.
+
+Table 2 of the paper attributes part of LRP's throughput advantage to
+"reduced context switching and improved memory access locality".  To
+let that effect emerge we track, per process, how much of its working
+set is resident in the (single, shared) off-chip cache:
+
+* while a process runs it re-establishes residency at a fixed touch
+  rate and, once the cache is over-committed, evicts other processes'
+  lines proportionally;
+* interrupt handlers pollute a small amount per activation;
+* when a process is switched in, the non-resident part of its hot
+  working set is repaid as a CPU penalty (cache refill time).
+
+The SPARCstation 20 model 61 of the paper has a 1 MB unified L2; the
+Table 2 worker's working set "covers a significant fraction (35%)" of
+it.  The model is deliberately simple — occupancy, not reuse-distance —
+because only the *relative* penalty between architectures matters.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.engine.process import SimProcess
+from repro.host.costs import CostModel
+
+
+class CacheModel:
+    """Shared-cache occupancy tracking for a set of processes."""
+
+    def __init__(self, costs: CostModel, size_kb: float = 1024.0):
+        self.costs = costs
+        self.size_kb = size_kb
+        self._procs: List[SimProcess] = []
+        self.total_refill_usec = 0.0
+
+    def register(self, proc: SimProcess) -> None:
+        proc.cache_resident_kb = 0.0
+        self._procs.append(proc)
+
+    def unregister(self, proc: SimProcess) -> None:
+        if proc in self._procs:
+            self._procs.remove(proc)
+
+    # ------------------------------------------------------------------
+    def on_run(self, proc: SimProcess, usec: float) -> None:
+        """Account for *proc* touching its working set for *usec*."""
+        hot = min(proc.working_set_kb, self.size_kb)
+        touched = min(hot, usec * self.costs.cache_touch_kb_per_usec)
+        grow = min(hot, proc.cache_resident_kb + touched)
+        delta = grow - proc.cache_resident_kb
+        if delta > 0:
+            proc.cache_resident_kb = grow
+            self._evict(delta, exclude=proc)
+
+    def on_interrupt_pollution(self, intr_usec: float) -> None:
+        """Interrupt handlers displace everyone's cache state in
+        proportion to the CPU time they consumed (heavier handlers —
+        BSD's full protocol processing — touch more data than LRP's
+        tiny demux function).
+
+        Unlike capacity eviction this is *conflict* eviction: the
+        handler's lines land on top of victim lines regardless of how
+        full the cache is, so the eviction is unconditional.
+        """
+        self._evict_direct(self.costs.intr_pollution_kb_per_usec
+                           * intr_usec)
+
+    def switch_penalty(self, proc: SimProcess) -> float:
+        """CPU microseconds needed to re-warm *proc*'s hot set."""
+        hot = min(proc.working_set_kb, self.size_kb)
+        missing = max(0.0, hot - proc.cache_resident_kb)
+        penalty = missing * self.costs.cache_refill_per_kb
+        self.total_refill_usec += penalty
+        return penalty
+
+    def _evict_direct(self, amount_kb: float) -> None:
+        """Evict *amount_kb* from residents proportionally,
+        unconditionally."""
+        residents = [p for p in self._procs if p.cache_resident_kb > 0.0]
+        if not residents:
+            return
+        pool = sum(p.cache_resident_kb for p in residents)
+        evict = min(amount_kb, pool)
+        for p in residents:
+            share = evict * (p.cache_resident_kb / pool)
+            p.cache_resident_kb = max(0.0, p.cache_resident_kb - share)
+
+    # ------------------------------------------------------------------
+    def _evict(self, amount_kb: float, exclude) -> None:
+        """Evict *amount_kb*, spread over other residents, but only to
+        the extent the cache is actually over-committed."""
+        residents = [p for p in self._procs
+                     if p is not exclude and p.cache_resident_kb > 0.0]
+        if not residents:
+            return
+        total = sum(p.cache_resident_kb for p in residents)
+        if exclude is not None:
+            total += exclude.cache_resident_kb
+        overflow = total + amount_kb - self.size_kb
+        evict = min(amount_kb, max(0.0, overflow))
+        if evict <= 0:
+            return
+        pool = sum(p.cache_resident_kb for p in residents)
+        for p in residents:
+            share = evict * (p.cache_resident_kb / pool)
+            p.cache_resident_kb = max(0.0, p.cache_resident_kb - share)

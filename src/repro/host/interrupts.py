@@ -1,0 +1,117 @@
+"""Interrupt work items and priority classes.
+
+The simulated host has three execution classes, mirroring the priority
+structure the paper identifies as the root cause of receive livelock
+(Section 2.2):
+
+* ``HARDWARE`` — device interrupt handlers.  Highest priority; they
+  preempt everything, including software interrupts ("the reception of
+  subsequent packets can interrupt the protocol processing of earlier
+  packets").
+* ``SOFTWARE`` — software interrupts (BSD ``splnet`` protocol
+  processing).  Preempt all processes, are preempted by hardware
+  interrupts.
+* ``PROCESS`` — user and kernel processes, chosen by the scheduler.
+
+Interrupt handlers are generators yielding :class:`~repro.engine.process.Compute`
+requests; they run to completion and may not block (the same constraint
+the paper places on its demultiplexing function).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.engine.process import Compute, Request
+
+#: Execution classes, ordered by priority (lower value runs first).
+HARDWARE = 0
+SOFTWARE = 1
+PROCESS = 2
+
+CLASS_NAMES = {HARDWARE: "hardware", SOFTWARE: "software", PROCESS: "process"}
+
+
+class InterruptContextError(RuntimeError):
+    """An interrupt handler attempted a process-only operation."""
+
+
+class IntrTask:
+    """One activation of an interrupt handler.
+
+    Parameters
+    ----------
+    gen:
+        Generator implementing the handler body.  May yield only
+        :class:`Compute` requests.
+    work_class:
+        ``HARDWARE`` or ``SOFTWARE``.
+    label:
+        Short name for statistics (e.g. ``"nic-rx"``, ``"softnet"``).
+    charge:
+        Callback ``charge(usec)`` invoked for every microsecond of CPU
+        the task consumes; the accounting policy decides which process
+        (if any) to bill.  May be ``None`` for unbilled work.
+    """
+
+    __slots__ = ("gen", "work_class", "label", "charge", "pending",
+                 "done", "total_consumed")
+
+    def __init__(self, gen: Iterator, work_class: int, label: str,
+                 charge: Optional[Callable[[float], None]] = None):
+        if work_class not in (HARDWARE, SOFTWARE):
+            raise ValueError(f"bad interrupt class {work_class!r}")
+        self.gen = gen
+        self.work_class = work_class
+        self.label = label
+        self.charge = charge
+        self.pending = 0.0      # microseconds left in the current Compute
+        self.done = False
+        self.total_consumed = 0.0   # lifetime CPU, for pollution scaling
+
+    def begin(self) -> Optional[float]:
+        """Return the next compute duration, or ``None`` when finished.
+
+        Advances the handler generator past any zero-cost steps.  Called
+        by the CPU each time the task is (re)started.
+        """
+        while True:
+            if self.pending > 0:
+                return self.pending
+            try:
+                request: Request = next(self.gen)
+            except StopIteration:
+                self.done = True
+                return None
+            if isinstance(request, Compute):
+                self.pending = request.usec
+                continue
+            raise InterruptContextError(
+                f"interrupt task {self.label!r} yielded "
+                f"{request!r}; interrupt context may only Compute")
+
+    def consumed(self, usec: float) -> None:
+        """Record *usec* of CPU progress (called by the CPU)."""
+        self.pending = max(0.0, self.pending - usec)
+        self.total_consumed += usec
+        if self.charge is not None and usec > 0:
+            self.charge(usec)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<IntrTask {self.label} {CLASS_NAMES[self.work_class]} "
+                f"pending={self.pending:.2f}>")
+
+
+def simple_task(cost: float, work_class: int, label: str,
+                action: Optional[Callable[[], None]] = None,
+                charge: Optional[Callable[[float], None]] = None) -> IntrTask:
+    """Build an :class:`IntrTask` that computes for *cost* then runs
+    *action* (an instantaneous effect such as queueing a packet)."""
+
+    def body() -> Iterator:
+        if cost > 0:
+            yield Compute(cost)
+        if action is not None:
+            action()
+
+    return IntrTask(body(), work_class, label, charge)

@@ -1,0 +1,292 @@
+"""The kernel facade: processes, syscalls, ticks, blocking and wakeup.
+
+A :class:`Kernel` owns one CPU, one scheduler, the accounting policy
+and the cache model, and drives simulated processes.  Network stacks
+(``repro.core``) plug in by registering syscall handlers and by posting
+interrupt tasks to ``kernel.cpu``.
+
+Syscall handlers may be *generator functions*: they are pushed onto the
+calling process's generator stack, so any ``Compute`` they yield is
+consumed in process context — preemptible, quantum-limited, and charged
+to the caller.  This is the substrate on which lazy receiver processing
+is built: under LRP, IP and UDP input run as generator frames inside
+``recvfrom``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Optional
+
+import inspect
+
+from repro.engine.process import (
+    Block,
+    Compute,
+    Exit,
+    ProcState,
+    Request,
+    SimProcess,
+    Sleep,
+    Syscall,
+    WaitChannel,
+)
+from repro.engine.simulator import Simulator
+from repro.host.accounting import Accounting
+from repro.host.cache import CacheModel
+from repro.host.costs import DEFAULT_COSTS, CostModel
+from repro.host.cpu import Cpu
+from repro.host.interrupts import PROCESS
+from repro.host.scheduler import TICK_USEC, Scheduler
+
+#: schedcpu (estcpu decay) period, in ticks: once per second at HZ=100.
+DECAY_TICKS = 100
+
+
+class KernelPanic(RuntimeError):
+    """Unrecoverable simulated-kernel error."""
+
+
+class ProcContext:
+    """The CPU-facing execution context of one process."""
+
+    work_class = PROCESS
+
+    __slots__ = ("kernel", "proc", "stint", "switched_in")
+
+    def __init__(self, kernel: "Kernel", proc: SimProcess):
+        self.kernel = kernel
+        self.proc = proc
+        self.stint = 0.0          # CPU used in the current quantum
+        self.switched_in = False  # set by the scheduler on a real switch
+
+    # -- CPU context protocol ------------------------------------------
+    def begin(self) -> Optional[float]:
+        kernel = self.kernel
+        proc = self.proc
+        if self.switched_in:
+            self.switched_in = False
+            kernel.cache_switch_ins += 1
+            proc.compute_remaining += kernel.costs.context_switch
+        # Cache refill is repaid whenever the process resumes with part
+        # of its hot set evicted — whether by a context switch or by
+        # interrupt-handler pollution (the locality effect of Table 2).
+        refill = kernel.cache.switch_penalty(proc)
+        if refill > 0:
+            proc.compute_remaining += refill
+        while True:
+            if proc.compute_remaining > 1e-9:
+                proc.state = ProcState.RUNNING
+                return proc.compute_remaining
+            request = proc.step()
+            if request is None:
+                kernel.reap(proc)
+                return None
+            if not kernel.handle_request(self, request):
+                return None  # blocked, sleeping, or exited
+
+    def consumed(self, usec: float) -> None:
+        proc = self.proc
+        proc.compute_remaining = max(0.0, proc.compute_remaining - usec)
+        self.kernel.accounting.charge_process(proc, usec)
+        self.kernel.cache.on_run(proc, usec)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ProcContext {self.proc.name}>"
+
+
+SyscallHandler = Callable[..., Any]
+
+
+class Kernel:
+    """One simulated host's operating system kernel."""
+
+    def __init__(self, sim: Simulator,
+                 costs: CostModel = DEFAULT_COSTS,
+                 accounting_policy: str = "interrupted",
+                 name: str = "host",
+                 cache_size_kb: float = 1024.0,
+                 enable_ticks: bool = True):
+        self.sim = sim
+        self.name = name
+        self.costs = costs
+        self.cpu = Cpu(sim)
+        self.scheduler = Scheduler()
+        self.cpu.process_source = self.scheduler
+        self.accounting = Accounting(self.scheduler, accounting_policy)
+        self.cache = CacheModel(costs, cache_size_kb)
+        self.cpu.pollution_hook = self.cache.on_interrupt_pollution
+        self.syscalls: Dict[str, SyscallHandler] = {}
+        self.processes: Dict[int, SimProcess] = {}
+        self._contexts: Dict[int, ProcContext] = {}
+        self.ticks = 0
+        self.cache_switch_ins = 0
+        self.reaped: list = []
+        #: Callbacks invoked with each reaped process (used by the
+        #: per-process APP machinery to retire orphaned threads).
+        self.reap_hooks: list = []
+        #: Set by the scenario builder: the host's network stack and NIC.
+        self.stack = None
+        self.nic = None
+        if enable_ticks:
+            self.sim.schedule(TICK_USEC, self._hardclock)
+
+    # ------------------------------------------------------------------
+    # Process lifecycle
+    # ------------------------------------------------------------------
+    def spawn(self, name: str, main: Generator, nice: int = 0,
+              working_set_kb: float = 8.0) -> SimProcess:
+        """Create a process from generator *main* and make it runnable."""
+        proc = SimProcess(name, main, nice=nice)
+        proc.working_set_kb = working_set_kb
+        proc.state = ProcState.RUNNABLE
+        self.processes[proc.pid] = proc
+        ctx = ProcContext(self, proc)
+        self._contexts[proc.pid] = ctx
+        self.scheduler.register(proc)
+        self.cache.register(proc)
+        self.scheduler.enqueue(ctx)
+        self.cpu.notify_runnable()
+        return proc
+
+    def reap(self, proc: SimProcess, status: int = 0) -> None:
+        proc.state = ProcState.ZOMBIE
+        proc.exit_status = status
+        self.scheduler.unregister(proc)
+        self.cache.unregister(proc)
+        ctx = self._contexts.pop(proc.pid, None)
+        if ctx is not None:
+            self.scheduler.remove(ctx)
+        self.processes.pop(proc.pid, None)
+        self.reaped.append(proc)
+        for hook in self.reap_hooks:
+            hook(proc)
+
+    def context_of(self, proc: SimProcess) -> ProcContext:
+        return self._contexts[proc.pid]
+
+    # ------------------------------------------------------------------
+    # Request handling (called from ProcContext.begin)
+    # ------------------------------------------------------------------
+    def handle_request(self, ctx: ProcContext, request: Request) -> bool:
+        """Process one yielded request.  Returns ``True`` if the process
+        can keep running, ``False`` if it gave up the CPU."""
+        proc = ctx.proc
+        if isinstance(request, Compute):
+            proc.compute_remaining += request.usec
+            return True
+        if isinstance(request, Syscall):
+            return self._dispatch_syscall(proc, request)
+        if isinstance(request, Block):
+            request.channel.add(proc)
+            proc.wait_channel = request.channel
+            proc.state = ProcState.SLEEPING
+            return False
+        if isinstance(request, Sleep):
+            proc.state = ProcState.SLEEPING
+            proc.sleep_event = self.sim.schedule(
+                request.usec, self._sleep_expired, proc)
+            return False
+        if isinstance(request, Exit):
+            self.reap(proc, request.status)
+            return False
+        raise KernelPanic(f"{proc.name}: unhandled request {request!r}")
+
+    def _dispatch_syscall(self, proc: SimProcess, call: Syscall) -> bool:
+        handler = self.syscalls.get(call.name)
+        if handler is None:
+            proc.throw_on_resume(
+                KernelPanic(f"unknown syscall {call.name!r}"))
+            return True
+        proc.compute_remaining += self.costs.syscall_overhead
+        if inspect.isgeneratorfunction(handler):
+            proc.push_frame(handler(self, proc, **call.kwargs))
+            return True
+        try:
+            result = handler(self, proc, **call.kwargs)
+        except Exception as exc:
+            proc.throw_on_resume(exc)
+            return True
+        if inspect.isgenerator(result):
+            # Handlers may return a generator (common for bound
+            # methods wrapping an inner generator); run it as a frame.
+            proc.push_frame(result)
+        else:
+            proc.set_result(result)
+        return True
+
+    def register_syscall(self, name: str, handler: SyscallHandler) -> None:
+        self.syscalls[name] = handler
+
+    # ------------------------------------------------------------------
+    # Blocking and wakeup
+    # ------------------------------------------------------------------
+    def wake_process(self, proc: SimProcess, value: Any = None) -> None:
+        """Make a sleeping process runnable, delivering *value* as the
+        result of its blocking yield.  Preempts a lower-priority
+        running process, as BSD does on wakeup."""
+        if proc.state != ProcState.SLEEPING:
+            return
+        if proc.wait_channel is not None:
+            proc.wait_channel.remove(proc)
+            proc.wait_channel = None
+        if proc.sleep_event is not None:
+            proc.sleep_event.cancel()
+            proc.sleep_event = None
+        proc.set_result(value)
+        proc.state = ProcState.RUNNABLE
+        proc.compute_remaining += self.costs.wakeup
+        self.scheduler.enqueue(self._contexts[proc.pid])
+        self.cpu.preempt_process_for(proc.usrpri)
+        self.cpu.notify_runnable()
+
+    def wake_one(self, channel: WaitChannel, value: Any = None) -> bool:
+        """Wake the highest-priority waiter on *channel* (the paper,
+        Section 3.4 footnote: "the process with the highest priority
+        performs the protocol processing")."""
+        waiters = channel.waiters()
+        if not waiters:
+            return False
+        best = min(waiters, key=lambda p: p.usrpri)
+        self.wake_process(best, value)
+        return True
+
+    def wake_all(self, channel: WaitChannel, value: Any = None) -> int:
+        count = 0
+        for proc in channel.waiters():
+            self.wake_process(proc, value)
+            count += 1
+        return count
+
+    def _sleep_expired(self, proc: SimProcess) -> None:
+        proc.sleep_event = None
+        if proc.state == ProcState.SLEEPING:
+            proc.set_result(None)
+            proc.state = ProcState.RUNNABLE
+            self.scheduler.enqueue(self._contexts[proc.pid])
+            self.cpu.preempt_process_for(proc.usrpri)
+            self.cpu.notify_runnable()
+
+    # ------------------------------------------------------------------
+    # Clock ticks
+    # ------------------------------------------------------------------
+    def _hardclock(self) -> None:
+        from repro.host.interrupts import HARDWARE, simple_task
+
+        self.ticks += 1
+        task = simple_task(
+            self.costs.hardclock, HARDWARE, "hardclock",
+            action=self._tick_body,
+            charge=self.accounting.interrupt_charger(self.cpu))
+        self.cpu.post(task)
+        self.sim.schedule(TICK_USEC, self._hardclock)
+
+    def _tick_body(self) -> None:
+        if self.ticks % DECAY_TICKS == 0:
+            self.scheduler.decay_all()
+        # Tick-granularity preemption: if a runnable process now beats
+        # the one that will resume, let the scheduler re-pick.
+        best = self.scheduler.best_runnable_priority()
+        current = self.cpu.last_process_running
+        if (best is not None and current is not None
+                and current.proc.usrpri > best):
+            self.cpu.force_resched()

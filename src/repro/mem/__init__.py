@@ -1,0 +1,14 @@
+"""Network buffer memory: mbufs and the mbuf pool."""
+
+from repro.mem.mbuf import MCLBYTES, MLEN, Mbuf, MbufChain, buffers_needed
+from repro.mem.pool import MbufExhausted, MbufPool
+
+__all__ = [
+    "MCLBYTES",
+    "MLEN",
+    "Mbuf",
+    "MbufChain",
+    "MbufExhausted",
+    "MbufPool",
+    "buffers_needed",
+]

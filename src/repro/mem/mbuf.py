@@ -1,0 +1,75 @@
+"""Mbufs: the BSD network buffer abstraction.
+
+Packets travel through the simulated kernels inside mbuf chains, as in
+4.4BSD.  An :class:`Mbuf` stores a reference to the packet payload plus
+length bookkeeping; a chain represents a packet larger than one
+buffer.  Chains are allocated from a finite :class:`~repro.mem.pool.MbufPool`
+— exhausting the pool is one of the overload failure modes the paper
+discusses ("aggregate traffic bursts can ... exhaust the mbuf pool").
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+#: Bytes of payload one small mbuf holds (4.4BSD MLEN with header).
+MLEN = 108
+#: Bytes a cluster mbuf holds (4.4BSD MCLBYTES).
+MCLBYTES = 2048
+
+
+class Mbuf:
+    """One buffer in a chain."""
+
+    __slots__ = ("size", "length", "data", "next")
+
+    def __init__(self, size: int = MLEN):
+        self.size = size
+        self.length = 0
+        self.data: Any = None
+        self.next: Optional["Mbuf"] = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Mbuf len={self.length}/{self.size}>"
+
+
+class MbufChain:
+    """A packet's worth of mbufs.
+
+    ``payload`` carries the simulated packet object itself so protocol
+    code does not need to serialize; the chain's buffer count models
+    the memory footprint.
+    """
+
+    __slots__ = ("head", "count", "total_length", "payload", "pool")
+
+    def __init__(self, head: Mbuf, count: int, total_length: int,
+                 payload: Any, pool) -> None:
+        self.head = head
+        self.count = count
+        self.total_length = total_length
+        self.payload = payload
+        self.pool = pool
+
+    def free(self) -> None:
+        """Return every buffer in the chain to its pool."""
+        if self.pool is not None:
+            self.pool.free_chain(self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<MbufChain bufs={self.count} "
+                f"len={self.total_length}>")
+
+
+def buffers_needed(nbytes: int) -> int:
+    """How many buffers a packet of *nbytes* occupies.
+
+    Mirrors the BSD policy: small packets use small mbufs; anything
+    beyond two small mbufs' worth goes into clusters.
+    """
+    if nbytes <= MLEN:
+        return 1
+    if nbytes <= 2 * MLEN:
+        return 2
+    clusters, remainder = divmod(nbytes, MCLBYTES)
+    return clusters + (1 if remainder else 0)

@@ -1,0 +1,66 @@
+"""Fixed-size mbuf pool with exhaustion semantics."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.mem.mbuf import Mbuf, MbufChain, MLEN, buffers_needed
+
+
+class MbufExhausted(Exception):
+    """The pool had no free buffers (callers usually drop the packet)."""
+
+
+class MbufPool:
+    """A finite pool of mbufs shared by a host's network subsystem.
+
+    4.4BSD sizes the pool in kernel malloc limits; we model a flat
+    buffer budget.  ``allocate`` either returns a chain or raises
+    :class:`MbufExhausted`; drops caused by exhaustion are counted so
+    experiments can attribute packet loss to the right queue (the
+    paper reports "no packets were dropped due to lack of mbufs" for
+    Figure 3 — our stats make the same check possible).
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("pool capacity must be positive")
+        self.capacity = capacity
+        self.in_use = 0
+        self.peak_in_use = 0
+        self.allocations = 0
+        self.exhaustions = 0
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def allocate(self, nbytes: int, payload: Any = None) -> MbufChain:
+        """Allocate a chain large enough for *nbytes* of packet."""
+        need = buffers_needed(nbytes)
+        if need > self.available:
+            self.exhaustions += 1
+            raise MbufExhausted(
+                f"need {need} bufs, {self.available} free")
+        self.in_use += need
+        self.peak_in_use = max(self.peak_in_use, self.in_use)
+        self.allocations += 1
+        head = Mbuf(MLEN)
+        head.length = min(nbytes, MLEN)
+        return MbufChain(head, need, nbytes, payload, self)
+
+    def try_allocate(self, nbytes: int,
+                     payload: Any = None) -> Optional[MbufChain]:
+        """Like :meth:`allocate` but returns ``None`` on exhaustion."""
+        try:
+            return self.allocate(nbytes, payload)
+        except MbufExhausted:
+            return None
+
+    def free_chain(self, chain: MbufChain) -> None:
+        if chain.count <= 0:
+            return
+        self.in_use -= chain.count
+        if self.in_use < 0:
+            raise AssertionError("mbuf pool double free")
+        chain.count = 0

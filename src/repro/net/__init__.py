@@ -1,0 +1,67 @@
+"""Packet formats, addresses, checksums and the LAN model."""
+
+from repro.net.addr import ANY_ADDR, Endpoint, IPAddr, endpoint
+from repro.net.checksum import internet_checksum, pseudo_header, verify_checksum
+from repro.net.ip import (
+    DEFAULT_TTL,
+    IP_HEADER_LEN,
+    IPPROTO_ICMP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    IpPacket,
+    fragment_packet,
+)
+from repro.net.link import ATM_155_BITS_PER_USEC, Network
+from repro.net.packet import Frame, aal5_wire_bytes
+from repro.net.tcp import (
+    ACK,
+    FIN,
+    PSH,
+    RST,
+    SYN,
+    TCP_HEADER_LEN,
+    TcpSegment,
+    seq_add,
+    seq_diff,
+    seq_ge,
+    seq_gt,
+    seq_le,
+    seq_lt,
+)
+from repro.net.udp import UDP_HEADER_LEN, UdpDatagram
+
+__all__ = [
+    "ACK",
+    "ANY_ADDR",
+    "ATM_155_BITS_PER_USEC",
+    "DEFAULT_TTL",
+    "Endpoint",
+    "FIN",
+    "Frame",
+    "IPAddr",
+    "IPPROTO_ICMP",
+    "IPPROTO_TCP",
+    "IPPROTO_UDP",
+    "IP_HEADER_LEN",
+    "IpPacket",
+    "Network",
+    "PSH",
+    "RST",
+    "SYN",
+    "TCP_HEADER_LEN",
+    "TcpSegment",
+    "UDP_HEADER_LEN",
+    "UdpDatagram",
+    "aal5_wire_bytes",
+    "endpoint",
+    "fragment_packet",
+    "internet_checksum",
+    "pseudo_header",
+    "seq_add",
+    "seq_diff",
+    "seq_ge",
+    "seq_gt",
+    "seq_le",
+    "seq_lt",
+    "verify_checksum",
+]

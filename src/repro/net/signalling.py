@@ -1,0 +1,87 @@
+"""ATM-style signalling: VCI assignment for NI-demultiplexed endpoints.
+
+The paper's NI-LRP prototype used Cornell's U-Net firmware, which
+"performs demultiplexing based on the ATM virtual circuit identifier
+(VCI).  A signaling scheme was used that ensures that a separate ATM
+VCI is assigned for traffic terminating or originating at each
+socket."
+
+This module is that signalling scheme, reduced to its essence: a
+LAN-wide directory mapping a receiving endpoint to the VCI its NI
+channel listens on.  NI-LRP hosts publish an entry when a channel is
+created; sending stacks look the destination up and stamp the VCI on
+outgoing frames, letting the receiving NIC classify with a single
+table probe (the ``demux_by_vci`` fast path) instead of parsing
+headers.  Hosts whose NICs cannot use VCIs simply never publish, and
+senders fall back to header demux transparently.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Tuple
+
+from repro.net.addr import IPAddr
+
+#: (dst_addr, proto, dst_port) — one VCI per receiving endpoint; TCP
+#: flows could be keyed more finely, but per-port suffices because the
+#: receiving demux still disambiguates exact flows by header.
+EndpointKey = Tuple[int, int, int]
+
+
+class SignallingDirectory:
+    """LAN-wide VCI assignments (one instance per Network)."""
+
+    def __init__(self) -> None:
+        self._vcis: Dict[EndpointKey, int] = {}
+        self._flow_vcis: Dict[tuple, int] = {}
+        # VCIs 0-31 are reserved in ATM; start above them.
+        self._next_vci = itertools.count(32)
+
+    def assign(self, addr, proto: int, port: int) -> int:
+        """Publish (or return the existing) VCI for an endpoint."""
+        key = (IPAddr(addr).value, proto, port)
+        vci = self._vcis.get(key)
+        if vci is None:
+            vci = next(self._next_vci)
+            self._vcis[key] = vci
+        return vci
+
+    def withdraw(self, addr, proto: int, port: int) -> None:
+        self._vcis.pop((IPAddr(addr).value, proto, port), None)
+
+    def assign_flow(self, addr, proto: int, lport: int,
+                    faddr, fport: int) -> int:
+        """Publish a per-connection VCI (connected TCP sockets get
+        their own NI channel and hence their own circuit)."""
+        key = (IPAddr(addr).value, proto, lport,
+               IPAddr(faddr).value, fport)
+        vci = self._flow_vcis.get(key)
+        if vci is None:
+            vci = next(self._next_vci)
+            self._flow_vcis[key] = vci
+        return vci
+
+    def withdraw_flow(self, addr, proto: int, lport: int,
+                      faddr, fport: int) -> None:
+        self._flow_vcis.pop(
+            (IPAddr(addr).value, proto, lport,
+             IPAddr(faddr).value, fport), None)
+
+    def lookup(self, addr, proto: int, port: int,
+               src_addr=None, src_port: Optional[int] = None
+               ) -> Optional[int]:
+        """The VCI a sender should stamp on frames for this endpoint,
+        or ``None`` (header demux at the receiver).  Connection-level
+        circuits take precedence over per-port circuits."""
+        if src_addr is not None and src_port is not None:
+            vci = self._flow_vcis.get(
+                (IPAddr(addr).value, proto, port,
+                 IPAddr(src_addr).value, src_port))
+            if vci is not None:
+                return vci
+        return self._vcis.get((IPAddr(addr).value, proto, port))
+
+    @property
+    def size(self) -> int:
+        return len(self._vcis) + len(self._flow_vcis)

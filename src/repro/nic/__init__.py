@@ -1,0 +1,29 @@
+"""Network interface models: channels, demux, and two adaptors."""
+
+from repro.nic.base import BaseNic, IFQ_MAXLEN
+from repro.nic.channels import DEFAULT_CHANNEL_DEPTH, NiChannel
+from repro.nic.demux import (
+    DAEMON,
+    FRAGMENT,
+    MATCHED,
+    UNMATCHED,
+    DemuxTable,
+    flow_key,
+)
+from repro.nic.programmable import ProgrammableNic
+from repro.nic.simple import SimpleNic
+
+__all__ = [
+    "BaseNic",
+    "DAEMON",
+    "DEFAULT_CHANNEL_DEPTH",
+    "DemuxTable",
+    "FRAGMENT",
+    "IFQ_MAXLEN",
+    "MATCHED",
+    "NiChannel",
+    "ProgrammableNic",
+    "SimpleNic",
+    "UNMATCHED",
+    "flow_key",
+]

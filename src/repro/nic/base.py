@@ -1,0 +1,70 @@
+"""Common NIC machinery: the driver interface queue and send path.
+
+Both NIC models share the BSD driver structure on the transmit side:
+packets the stack emits go to a bounded *interface queue* and drain at
+wire speed ("the resulting IP packets are then transmitted, or — if
+the interface is currently busy — placed in the driver's interface
+queue").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.engine.simulator import Simulator
+from repro.net.addr import IPAddr
+from repro.net.link import Network
+from repro.net.packet import Frame
+
+#: BSD IFQ_MAXLEN.
+IFQ_MAXLEN = 50
+
+
+class BaseNic:
+    """Transmit path and attachment plumbing shared by NIC models."""
+
+    def __init__(self, sim: Simulator, network: Network, addr: IPAddr,
+                 ifq_maxlen: int = IFQ_MAXLEN):
+        self.sim = sim
+        self.network = network
+        self.addr = IPAddr(addr)
+        self.ifq: Deque[Frame] = deque()
+        self.ifq_maxlen = ifq_maxlen
+        self._tx_busy = False
+        network.attach(self, self.addr)
+
+        self.tx_frames = 0
+        self.tx_drops_ifq = 0
+        self.rx_frames = 0
+        self.rx_drops_ring = 0
+
+    # ------------------------------------------------------------------
+    # Transmit side
+    # ------------------------------------------------------------------
+    def transmit(self, frame: Frame) -> bool:
+        """Queue *frame* for transmission; False if the ifq was full."""
+        if len(self.ifq) >= self.ifq_maxlen:
+            self.tx_drops_ifq += 1
+            return False
+        self.ifq.append(frame)
+        if not self._tx_busy:
+            self._tx_next()
+        return True
+
+    def _tx_next(self) -> None:
+        if not self.ifq:
+            self._tx_busy = False
+            return
+        self._tx_busy = True
+        frame = self.ifq.popleft()
+        self.tx_frames += 1
+        self.network.send(frame, self.addr)
+        tx_time = frame.wire_len * 8.0 / self.network.bandwidth
+        self.sim.schedule(tx_time, self._tx_next)
+
+    # ------------------------------------------------------------------
+    # Receive side (implemented by subclasses)
+    # ------------------------------------------------------------------
+    def receive_frame(self, frame: Frame) -> None:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,150 @@
+"""The LRP packet demultiplexing function (paper Section 3.2).
+
+"Our demultiplexing function is self-contained, and has minimal
+requirements on its execution environment (non-blocking, no dynamic
+memory allocation, no timers). ... The function can efficiently
+demultiplex all packets in the TCP/IP protocol family, including IP
+fragments."
+
+The same function body runs in two places:
+
+* on the programmable NIC's embedded processor (*NI demux*), where its
+  cost is paid from NIC capacity; or
+* in the host's device-driver interrupt handler (*soft demux*), where
+  its cost is host CPU charged per the accounting policy.
+
+Fragments whose transport header has not been seen yet go to a special
+channel that the IP reassembly code polls (``FRAGMENT_CHANNEL``);
+packets matching no endpoint are reported unmatched so callers can
+drop them or hand them to a protocol daemon.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.net.addr import ANY_ADDR, IPAddr
+from repro.net.ip import IPPROTO_ICMP, IPPROTO_TCP, IPPROTO_UDP, IpPacket
+from repro.nic.channels import NiChannel
+
+#: Demux outcomes.
+MATCHED = "matched"
+FRAGMENT = "fragment"
+DAEMON = "daemon"
+UNMATCHED = "unmatched"
+
+FlowKey = Tuple[int, int, int, int, int]  # proto, laddr, lport, faddr, fport
+
+
+def flow_key(proto: int, laddr: IPAddr, lport: int,
+             faddr: IPAddr, fport: int) -> FlowKey:
+    return (proto, IPAddr(laddr).value, lport, IPAddr(faddr).value, fport)
+
+
+class DemuxTable:
+    """Endpoint table consulted by the demux function.
+
+    Exact (connected) entries take precedence over wildcard (bound or
+    listening) entries, like BSD PCB matching — but this table is the
+    *NI channel* table, maintained at socket bind/connect/close time and
+    shared with the network interface.
+    """
+
+    def __init__(self) -> None:
+        self._exact: Dict[FlowKey, NiChannel] = {}
+        self._wildcard: Dict[Tuple[int, int], NiChannel] = {}
+        self._vci: Dict[int, NiChannel] = {}
+        self._daemon: Dict[int, NiChannel] = {}    # IP proto -> channel
+        #: Channel for unclassifiable IP fragments.
+        self.fragment_channel = NiChannel("frag", depth=32)
+        #: Local addresses of the host (shared with the stack); packets
+        #: for other destinations go to ``forward_channel`` if set.
+        self.local_addrs = None
+        #: The IP-forwarding daemon's channel (Section 3.5), or None.
+        self.forward_channel: Optional[NiChannel] = None
+        #: Demuxed-flow hints: (src, ident) -> channel, installed when
+        #: a first fragment is classified so later fragments of the
+        #: same datagram can follow it.
+        self._frag_hints: Dict[Tuple[int, int], NiChannel] = {}
+        self.lookups = 0
+
+    # -- registration --------------------------------------------------
+    def register_exact(self, key: FlowKey, channel: NiChannel) -> None:
+        self._exact[key] = channel
+
+    def register_wildcard(self, proto: int, lport: int,
+                          channel: NiChannel) -> None:
+        self._wildcard[(proto, lport)] = channel
+
+    def register_vci(self, vci: int, channel: NiChannel) -> None:
+        self._vci[vci] = channel
+
+    def register_daemon(self, ip_proto: int, channel: NiChannel) -> None:
+        self._daemon[ip_proto] = channel
+
+    def unregister_exact(self, key: FlowKey) -> None:
+        self._exact.pop(key, None)
+
+    def unregister_wildcard(self, proto: int, lport: int) -> None:
+        self._wildcard.pop((proto, lport), None)
+
+    def unregister_vci(self, vci: int) -> None:
+        self._vci.pop(vci, None)
+
+    @property
+    def channel_count(self) -> int:
+        return len(self._exact) + len(self._wildcard) + len(self._vci)
+
+    # -- the demux function ---------------------------------------------
+    def demux_by_vci(self, vci: Optional[int]):
+        """NI-demux fast path: classify by ATM virtual circuit id."""
+        self.lookups += 1
+        if vci is not None:
+            channel = self._vci.get(vci)
+            if channel is not None:
+                return MATCHED, channel
+        return UNMATCHED, None
+
+    def demux(self, packet: IpPacket):
+        """Classify *packet*; returns ``(outcome, channel_or_None)``.
+
+        Non-blocking, allocation-free: dictionary probes only.
+        """
+        self.lookups += 1
+        if (self.forward_channel is not None
+                and self.local_addrs is not None
+                and packet.dst.value not in self.local_addrs):
+            # Transit traffic: demultiplex onto the forwarding
+            # daemon's channel (charged to the daemon, Section 3.5).
+            return DAEMON, self.forward_channel
+        if packet.is_fragment and packet.transport is None:
+            # Continuation fragment: follow the hint if the head
+            # fragment was seen, else park on the special channel.
+            hint = self._frag_hints.get((packet.src.value, packet.ident))
+            if hint is not None:
+                return MATCHED, hint
+            return FRAGMENT, self.fragment_channel
+
+        transport = packet.transport
+        if packet.proto in (IPPROTO_UDP, IPPROTO_TCP) and transport is not None:
+            key = (packet.proto, packet.dst.value, transport.dst_port,
+                   packet.src.value, transport.src_port)
+            channel = self._exact.get(key)
+            if channel is None:
+                channel = self._wildcard.get(
+                    (packet.proto, transport.dst_port))
+            if channel is not None:
+                if packet.is_first_fragment:
+                    self._frag_hints[(packet.src.value, packet.ident)] = \
+                        channel
+                return MATCHED, channel
+            return UNMATCHED, None
+
+        daemon = self._daemon.get(packet.proto)
+        if daemon is not None:
+            return DAEMON, daemon
+        return UNMATCHED, None
+
+    def clear_fragment_hint(self, src: IPAddr, ident: int) -> None:
+        """Called by reassembly once a datagram completes."""
+        self._frag_hints.pop((IPAddr(src).value, ident), None)

@@ -1,0 +1,60 @@
+"""A conventional network adaptor: DMA ring + interrupt per packet.
+
+Used by the 4.4BSD, Early-Demux and SOFT-LRP kernels ("in the case of
+network adaptors that lack the necessary support ... the demultiplexing
+function can be performed in the network driver's interrupt handler").
+The NIC itself does no classification: every received frame raises a
+host hardware interrupt whose body is supplied by the attached network
+stack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.simulator import Simulator
+from repro.net.addr import IPAddr
+from repro.net.link import Network
+from repro.net.packet import Frame
+from repro.nic.base import BaseNic
+
+#: Receive DMA ring size, frames.
+DEFAULT_RX_RING = 64
+
+
+class SimpleNic(BaseNic):
+    """Interrupt-per-packet NIC.
+
+    The attached stack must provide ``rx_interrupt(frame)`` returning
+    an :class:`~repro.host.interrupts.IntrTask` to post, or ``None`` to
+    drop silently.  The DMA ring bounds how many frames can be awaiting
+    interrupt service; overflow drops are counted as ``rx_drops_ring``
+    (these happen only when interrupt processing itself cannot keep up,
+    i.e. deep livelock).
+    """
+
+    def __init__(self, sim: Simulator, network: Network, addr: IPAddr,
+                 rx_ring_size: int = DEFAULT_RX_RING, **base_kwargs):
+        super().__init__(sim, network, addr, **base_kwargs)
+        self.rx_ring_size = rx_ring_size
+        self.rx_ring_used = 0
+        self.stack = None  # installed by the scenario builder
+
+    def receive_frame(self, frame: Frame) -> None:
+        self.rx_frames += 1
+        if self.rx_ring_used >= self.rx_ring_size:
+            self.rx_drops_ring += 1
+            return
+        if self.stack is None:
+            self.rx_drops_ring += 1
+            return
+        task = self.stack.rx_interrupt(frame, self._ring_release)
+        if task is None:
+            return
+        self.rx_ring_used += 1
+        self.stack.kernel.cpu.post(task)
+
+    def _ring_release(self) -> None:
+        """Called by the stack when the interrupt handler has consumed
+        the frame out of the DMA ring."""
+        self.rx_ring_used -= 1

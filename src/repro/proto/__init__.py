@@ -1,0 +1,48 @@
+"""Protocol machinery: PCBs, reassembly, TCP, ICMP."""
+
+from repro.proto.icmp import (
+    DEST_UNREACHABLE,
+    ECHO_REPLY,
+    ECHO_REQUEST,
+    IcmpMessage,
+    echo_request,
+    make_reply,
+    port_unreachable,
+)
+from repro.proto.pcb import PcbTable, PortInUse
+from repro.proto.reassembly import IPFRAGTTL_USEC, Reassembler
+from repro.proto.tcp_proto import (
+    DEFAULT_MSS,
+    HANDSHAKE_TIMEOUT,
+    RTO_INIT,
+    RTO_MIN,
+    TIME_WAIT_DEFAULT,
+    TcpActions,
+    TcpConnection,
+    next_iss,
+)
+from repro.proto.tcp_states import SYNCHRONIZED, TcpState
+
+__all__ = [
+    "DEFAULT_MSS",
+    "DEST_UNREACHABLE",
+    "ECHO_REPLY",
+    "ECHO_REQUEST",
+    "HANDSHAKE_TIMEOUT",
+    "IPFRAGTTL_USEC",
+    "IcmpMessage",
+    "PcbTable",
+    "PortInUse",
+    "RTO_INIT",
+    "RTO_MIN",
+    "Reassembler",
+    "SYNCHRONIZED",
+    "TIME_WAIT_DEFAULT",
+    "TcpActions",
+    "TcpConnection",
+    "TcpState",
+    "echo_request",
+    "make_reply",
+    "next_iss",
+    "port_unreachable",
+]

@@ -1,0 +1,19 @@
+"""Socket layer: endpoints, buffers, and blocking semantics."""
+
+from repro.sockets.sockbuf import (
+    DEFAULT_DGRAM_DEPTH,
+    DEFAULT_STREAM_HIWAT,
+    DatagramQueue,
+    StreamBuffer,
+)
+from repro.sockets.socket import Socket, SocketError, SockType
+
+__all__ = [
+    "DEFAULT_DGRAM_DEPTH",
+    "DEFAULT_STREAM_HIWAT",
+    "DatagramQueue",
+    "Socket",
+    "SocketError",
+    "SockType",
+    "StreamBuffer",
+]

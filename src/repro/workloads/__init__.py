@@ -1,0 +1,9 @@
+"""Workload generation: raw packet injectors and scenario helpers."""
+
+from repro.workloads.sources import (
+    InjectorPort,
+    RawSynInjector,
+    RawUdpInjector,
+)
+
+__all__ = ["InjectorPort", "RawSynInjector", "RawUdpInjector"]

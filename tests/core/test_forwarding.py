@@ -1,0 +1,211 @@
+"""Tests for IP forwarding: routed delivery, the LRP forwarding
+daemon, and the BSD gateway pathology (Sections 2.3 and 3.5)."""
+
+import pytest
+
+from repro.core import Architecture, build_host
+from repro.core.forwarding import build_gateway, enable_forwarding
+from repro.engine import Compute, Simulator, Sleep, Syscall
+from repro.net.link import Network
+from repro.workloads import RawUdpInjector
+
+GW_A = "10.0.0.254"      # gateway's address on subnet 10.0.0/24
+GW_B = "10.0.1.254"      # gateway's address on subnet 10.0.1/24
+LEFT = "10.0.0.2"        # host on the left subnet
+RIGHT = "10.0.1.2"       # host on the right subnet
+
+
+def build_world(gw_arch, seed=1):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    gateway, daemon = build_gateway(sim, net, GW_A, GW_B, gw_arch)
+    left = build_host(sim, net, LEFT, Architecture.BSD)
+    right = build_host(sim, net, RIGHT, Architecture.BSD)
+    left.stack.set_gateway(GW_A)
+    right.stack.set_gateway(GW_B)
+    return sim, net, gateway, daemon, left, right
+
+
+@pytest.mark.parametrize("gw_arch", (Architecture.BSD,
+                                     Architecture.SOFT_LRP,
+                                     Architecture.NI_LRP),
+                         ids=lambda a: a.value)
+def test_cross_subnet_udp_roundtrip(gw_arch):
+    sim, net, gateway, daemon, left, right = build_world(gw_arch)
+    log = []
+
+    def server():
+        sock = yield Syscall("socket", stype="udp")
+        yield Syscall("bind", sock=sock, port=9000)
+        while True:
+            dgram, src, stamp = yield Syscall("recvfrom", sock=sock)
+            log.append((str(src.addr), dgram.payload_len))
+            yield Syscall("sendto", sock=sock, nbytes=4,
+                          addr=src.addr, port=src.port)
+
+    replies = []
+
+    def client():
+        yield Sleep(10_000.0)
+        sock = yield Syscall("socket", stype="udp")
+        for _ in range(5):
+            yield Syscall("sendto", sock=sock, nbytes=14,
+                          addr=RIGHT, port=9000)
+            dgram, src, stamp = yield Syscall("recvfrom", sock=sock)
+            replies.append(dgram.payload_len)
+
+    right.spawn("server", server())
+    left.spawn("client", client())
+    sim.run_until(500_000.0)
+    assert log == [(LEFT, 14)] * 5
+    assert replies == [4] * 5
+    assert gateway.stack.stats.get("ip_forwarded") == 10  # both ways
+
+
+def test_bsd_forwarding_runs_in_software_interrupt():
+    sim, net, gateway, daemon, left, right = build_world(
+        Architecture.BSD)
+    assert daemon is None
+    sink = []
+
+    def server():
+        sock = yield Syscall("socket", stype="udp")
+        yield Syscall("bind", sock=sock, port=9000)
+        while True:
+            yield Syscall("recvfrom", sock=sock)
+            sink.append(sim.now)
+
+    def bystander():
+        while True:
+            yield Compute(1_000.0)
+
+    right.spawn("server", server())
+    victim = gateway.spawn("bystander", bystander())
+    injector = RawUdpInjector(sim, net, "10.0.0.77", RIGHT, 9000)
+    injector._link_dst = GW_A  # injector has no routing: see below
+    # Route the flood via the gateway by sending link-addressed frames.
+    _patch_injector_next_hop(injector, GW_A)
+    sim.schedule(20_000.0, injector.start, 4_000)
+    sim.run_until(500_000.0)
+    assert gateway.stack.stats.get("ip_forwarded") > 1_000
+    # The bystander on the gateway paid for the forwarding interrupts.
+    assert victim.intr_time_charged > 20_000.0
+
+
+def test_lrp_forwarding_charged_to_daemon():
+    sim, net, gateway, daemon, left, right = build_world(
+        Architecture.SOFT_LRP)
+    assert daemon is not None
+    sink = []
+
+    def server():
+        sock = yield Syscall("socket", stype="udp")
+        yield Syscall("bind", sock=sock, port=9000)
+        while True:
+            yield Syscall("recvfrom", sock=sock)
+            sink.append(sim.now)
+
+    def bystander():
+        while True:
+            yield Compute(1_000.0)
+
+    right.spawn("server", server())
+    victim = gateway.spawn("bystander", bystander())
+    injector = RawUdpInjector(sim, net, "10.0.0.77", RIGHT, 9000)
+    _patch_injector_next_hop(injector, GW_A)
+    sim.schedule(20_000.0, injector.start, 4_000)
+    sim.run_until(500_000.0)
+    assert daemon.forwarded > 1_000
+    # The daemon paid for the forwarding proper; the bystander is
+    # billed only the (soft) demux interrupt time, which is the
+    # smaller share.
+    assert daemon.proc.cpu_time > victim.intr_time_charged * 1.5
+
+
+def test_lrp_daemon_priority_caps_forwarding_share():
+    """Section 3.5: 'its priority controls resources spent on IP
+    forwarding.'  A niced daemon forwards less under contention."""
+    rates = {}
+    for nice in (0, 20):
+        sim = Simulator(seed=2)
+        net = Network(sim)
+        gateway, daemon = build_gateway(sim, net, GW_A, GW_B,
+                                        Architecture.SOFT_LRP,
+                                        nice=nice)
+        left = build_host(sim, net, LEFT, Architecture.BSD)
+        right = build_host(sim, net, RIGHT, Architecture.BSD)
+        left.stack.set_gateway(GW_A)
+        right.stack.set_gateway(GW_B)
+
+        def hog():
+            while True:
+                yield Compute(1_000.0)
+
+        gateway.spawn("hog", hog())
+        injector = RawUdpInjector(sim, net, "10.0.0.77", RIGHT, 9000)
+        _patch_injector_next_hop(injector, GW_A)
+        sim.schedule(20_000.0, injector.start, 15_000)
+        sim.run_until(600_000.0)
+        rates[nice] = daemon.forwarded
+    assert rates[0] > rates[20]
+
+
+def test_lrp_forwarding_overload_sheds_at_channel():
+    sim, net, gateway, daemon, left, right = build_world(
+        Architecture.SOFT_LRP)
+
+    def hog():
+        while True:
+            yield Compute(1_000.0)
+
+    gateway.spawn("hog", hog())
+    gateway.spawn("hog2", hog())
+    injector = RawUdpInjector(sim, net, "10.0.0.77", RIGHT, 9000)
+    _patch_injector_next_hop(injector, GW_A)
+    sim.schedule(20_000.0, injector.start, 18_000)
+    sim.run_until(600_000.0)
+    assert daemon.channel.total_discards > 500
+
+
+def test_ttl_expiry_drops_transit_packets():
+    sim, net, gateway, daemon, left, right = build_world(
+        Architecture.SOFT_LRP)
+    from repro.net.ip import IPPROTO_UDP, IpPacket
+    from repro.net.packet import Frame
+    from repro.net.udp import UdpDatagram
+    from repro.workloads import InjectorPort
+
+    port = InjectorPort(sim, net, "10.0.0.99")
+    dgram = UdpDatagram(1, 9000, payload_len=14)
+    packet = IpPacket(port.addr, RIGHT, IPPROTO_UDP, dgram,
+                      dgram.total_len, ttl=1)
+    packet.stamp = 0.0
+    net.send(Frame(packet, link_dst=GW_A), port.addr)
+    sim.run_until(100_000.0)
+    assert daemon.dropped_ttl == 1
+    assert gateway.stack.stats.get("fwd_ttl_expired") == 1
+
+
+def test_forwarding_unsupported_for_early_demux():
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    host = build_host(sim, net, GW_A, Architecture.EARLY_DEMUX)
+    with pytest.raises(NotImplementedError):
+        enable_forwarding(host)
+
+
+def _patch_injector_next_hop(injector, gateway_addr) -> None:
+    """Route an injector's packets via a gateway (raw injectors have
+    no routing table of their own)."""
+    from repro.net.addr import IPAddr
+    from repro.net.packet import Frame
+
+    original = injector.port.send_packet
+
+    def routed(packet, vci=None):
+        packet.stamp = injector.sim.now
+        return injector.port.network.send(
+            Frame(packet, vci=vci, link_dst=IPAddr(gateway_addr)),
+            injector.port.addr)
+
+    injector.port.send_packet = routed

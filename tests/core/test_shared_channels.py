@@ -1,0 +1,101 @@
+"""Tests for shared/multicast sockets: one NI channel per group,
+fan-out delivery, highest-priority wakeup (Section 3.1 + footnote 5)."""
+
+import pytest
+
+from repro.core import Architecture
+from repro.engine import Compute, Sleep, Syscall
+from tests.helpers import SERVER, Scenario, udp_sender
+
+LRP_ARCHS = (Architecture.SOFT_LRP, Architecture.NI_LRP)
+
+
+def group_member(name, port, socks, got, shared=True):
+    def body():
+        sock = yield Syscall("socket", stype="udp")
+        yield Syscall("bind", sock=sock, port=port, shared=shared)
+        socks[name] = sock
+        while True:
+            dgram, src, stamp = yield Syscall("recvfrom", sock=sock)
+            got.setdefault(name, []).append(dgram.payload_len)
+    return body()
+
+
+@pytest.mark.parametrize("arch", LRP_ARCHS, ids=lambda a: a.value)
+def test_group_shares_one_ni_channel(arch):
+    sc = Scenario(arch)
+    socks, got = {}, {}
+    sc.server.spawn("m1", group_member("m1", 9000, socks, got))
+    sc.server.spawn("m2", group_member("m2", 9000, socks, got))
+    sc.run(20_000.0)
+    assert len(socks) == 2
+    assert socks["m1"].channel is socks["m2"].channel
+    assert len(socks["m1"].channel.members) == 2
+
+
+@pytest.mark.parametrize("arch",
+                         (Architecture.BSD,) + LRP_ARCHS,
+                         ids=lambda a: a.value)
+def test_every_member_receives_each_datagram(arch):
+    sc = Scenario(arch)
+    socks, got = {}, {}
+    sc.server.spawn("m1", group_member("m1", 9000, socks, got))
+    sc.server.spawn("m2", group_member("m2", 9000, socks, got))
+    sc.server.spawn("m3", group_member("m3", 9000, socks, got))
+    sc.client.spawn("send", udp_sender(SERVER, 9000, count=10,
+                                       gap_usec=2_000.0))
+    sc.run(300_000.0)
+    assert sorted(len(v) for v in got.values()) == [10, 10, 10]
+
+
+def test_exclusive_bind_conflicts_with_shared():
+    from repro.proto.pcb import PcbTable, PortInUse
+    from repro.net.addr import IPAddr
+
+    table = PcbTable()
+    table.bind(object(), IPAddr("10.0.0.1"), 9000)
+    with pytest.raises(PortInUse):
+        table.bind(object(), IPAddr("10.0.0.1"), 9000, shared=True)
+
+
+@pytest.mark.parametrize("arch", LRP_ARCHS, ids=lambda a: a.value)
+def test_member_departure_keeps_channel_alive(arch):
+    sc = Scenario(arch)
+    socks, got = {}, {}
+
+    def leaver():
+        sock = yield Syscall("socket", stype="udp")
+        yield Syscall("bind", sock=sock, port=9000, shared=True)
+        socks["leaver"] = sock
+        yield Sleep(50_000.0)
+        yield Syscall("close", sock=sock)
+
+    sc.server.spawn("leaver", leaver())
+    sc.server.spawn("stayer", group_member("stayer", 9000, socks, got))
+    sc.client.spawn("send", udp_sender(SERVER, 9000, count=5,
+                                       gap_usec=30_000.0,
+                                       start_delay=80_000.0))
+    sc.run(400_000.0)
+    stayer_sock = socks["stayer"]
+    assert socks["leaver"].channel is None
+    assert stayer_sock.channel is not None
+    assert len(stayer_sock.channel.members) == 1
+    assert len(got.get("stayer", [])) == 5
+
+
+def test_shared_bind_rejected_for_tcp():
+    from repro.sockets.socket import SocketError
+
+    sc = Scenario(Architecture.SOFT_LRP)
+    caught = []
+
+    def app():
+        sock = yield Syscall("socket", stype="tcp")
+        try:
+            yield Syscall("bind", sock=sock, port=80, shared=True)
+        except SocketError as exc:
+            caught.append(str(exc))
+
+    sc.server.spawn("app", app())
+    sc.run(10_000.0)
+    assert caught

@@ -1,0 +1,222 @@
+"""TCP behaviour through complete simulated kernels, per architecture:
+handshake, data transfer, close, backlog, TIME_WAIT, APP processing."""
+
+import pytest
+
+from repro.core import Architecture
+from repro.engine import Compute, Sleep, Syscall
+from repro.proto.tcp_states import TcpState
+from repro.workloads import RawSynInjector
+from tests.helpers import CLIENT, SERVER, Scenario
+
+ARCHS = (Architecture.BSD, Architecture.EARLY_DEMUX,
+         Architecture.SOFT_LRP, Architecture.NI_LRP)
+
+
+def echo_once_server(log, nbytes_reply=1000):
+    def body():
+        sock = yield Syscall("socket", stype="tcp")
+        yield Syscall("bind", sock=sock, port=80)
+        yield Syscall("listen", sock=sock, backlog=5)
+        while True:
+            conn = yield Syscall("accept", sock=sock)
+            got = yield Syscall("recv", sock=conn)
+            yield Syscall("send", sock=conn, nbytes=nbytes_reply)
+            yield Syscall("close", sock=conn)
+            log.append(got)
+    return body()
+
+
+def one_shot_client(results, sim, request_bytes=100, expect=1000):
+    def body():
+        yield Sleep(10_000.0)
+        sock = yield Syscall("socket", stype="tcp")
+        status = yield Syscall("connect", sock=sock, addr=SERVER,
+                               port=80)
+        assert status == 0
+        yield Syscall("send", sock=sock, nbytes=request_bytes)
+        got = 0
+        while got < expect:
+            n = yield Syscall("recv", sock=sock)
+            if n == 0:
+                break
+            got += n
+        yield Syscall("close", sock=sock)
+        results.append((sim.now, got))
+    return body()
+
+
+@pytest.mark.parametrize("arch", ARCHS, ids=lambda a: a.value)
+def test_request_response_roundtrip(arch):
+    sc = Scenario(arch, time_wait_usec=100_000.0)
+    log, results = [], []
+    sc.server.spawn("srv", echo_once_server(log))
+    sc.client.spawn("cli", one_shot_client(results, sc.sim))
+    sc.run(1_000_000.0)
+    assert log == [100]
+    assert results and results[0][1] == 1000
+
+
+@pytest.mark.parametrize("arch", ARCHS, ids=lambda a: a.value)
+def test_sequential_connections_reuse_listener(arch):
+    sc = Scenario(arch, time_wait_usec=50_000.0)
+    log, results = [], []
+    sc.server.spawn("srv", echo_once_server(log))
+
+    def serial_clients():
+        for _ in range(5):
+            yield Sleep(10_000.0)
+            sock = yield Syscall("socket", stype="tcp")
+            status = yield Syscall("connect", sock=sock, addr=SERVER,
+                                   port=80)
+            if status != 0:
+                continue
+            yield Syscall("send", sock=sock, nbytes=100)
+            got = 0
+            while got < 1000:
+                n = yield Syscall("recv", sock=sock)
+                if n == 0:
+                    break
+                got += n
+            yield Syscall("close", sock=sock)
+            results.append(got)
+
+    sc.client.spawn("cli", serial_clients())
+    sc.run(3_000_000.0)
+    assert results == [1000] * 5
+
+
+def test_bsd_syn_beyond_backlog_dropped_after_processing():
+    sc = Scenario(Architecture.BSD)
+
+    def deaf_listener():
+        sock = yield Syscall("socket", stype="tcp")
+        yield Syscall("bind", sock=sock, port=81)
+        yield Syscall("listen", sock=sock, backlog=2)
+        while True:
+            yield Sleep(1_000_000.0)
+
+    sc.server.spawn("deaf", deaf_listener())
+    injector = RawSynInjector(sc.sim, sc.network, "10.0.0.9", SERVER, 81)
+    sc.sim.schedule(20_000.0, injector.start, 1_000)
+    sc.run(300_000.0)
+    stats = sc.server.stack.stats
+    assert stats.get("drop_syn_backlog") > 0
+    # The drops happened *after* SYN processing (eager cost paid).
+    assert stats.get("tcp_syn_in") > stats.get("drop_syn_backlog") / 2
+
+
+@pytest.mark.parametrize("arch",
+                         (Architecture.SOFT_LRP, Architecture.NI_LRP),
+                         ids=lambda a: a.value)
+def test_lrp_backlog_feedback_disables_channel(arch):
+    """Section 3.4: once the listen backlog is exceeded, protocol
+    processing is disabled and SYNs die at the NI channel."""
+    sc = Scenario(arch)
+    held = []
+
+    def deaf_listener():
+        sock = yield Syscall("socket", stype="tcp")
+        yield Syscall("bind", sock=sock, port=81)
+        yield Syscall("listen", sock=sock, backlog=2)
+        held.append(sock)
+        while True:
+            yield Sleep(1_000_000.0)
+
+    sc.server.spawn("deaf", deaf_listener())
+    injector = RawSynInjector(sc.sim, sc.network, "10.0.0.9", SERVER, 81)
+    sc.sim.schedule(20_000.0, injector.start, 2_000)
+    sc.run(500_000.0)
+    listener = held[0]
+    assert listener.channel is not None
+    assert not listener.channel.processing_enabled
+    assert listener.channel.discarded_disabled > 100
+    # Only a handful of SYNs were ever processed.
+    assert sc.server.stack.stats.get("tcp_syn_in") <= 10
+
+
+@pytest.mark.parametrize("arch",
+                         (Architecture.SOFT_LRP, Architecture.NI_LRP),
+                         ids=lambda a: a.value)
+def test_app_thread_charges_socket_owner(arch):
+    """Section 3.4: APP's CPU usage is charged back to the
+    application that owns the socket."""
+    sc = Scenario(arch, time_wait_usec=50_000.0)
+    log, results = [], []
+    server_proc = sc.server.spawn("srv", echo_once_server(log))
+    sc.client.spawn("cli", one_shot_client(results, sc.sim))
+    sc.run(1_000_000.0)
+    app_proc = sc.server.stack.app.proc
+    assert sc.server.stack.app.segments_processed > 0
+    # The APP thread keeps only its own dispatch overhead (wakeup and
+    # context-switch time, accrued before charge_to is set); all
+    # protocol processing lands on the serving process.
+    assert app_proc.cpu_time < server_proc.cpu_time / 3
+
+
+def test_time_wait_frees_the_four_tuple():
+    sc = Scenario(Architecture.BSD, time_wait_usec=30_000.0)
+    log, results = [], []
+    sc.server.spawn("srv", echo_once_server(log))
+    sc.client.spawn("cli", one_shot_client(results, sc.sim))
+    sc.run(2_000_000.0)
+    # All child connections eventually cleaned out of the PCB table
+    # (only the listener's wildcard entry remains).
+    assert sc.server.stack.tcp_pcb.size == 1
+
+
+def test_handshake_timeout_expires_half_open_children():
+    sc = Scenario(Architecture.BSD)
+
+    def deaf_listener():
+        sock = yield Syscall("socket", stype="tcp")
+        yield Syscall("bind", sock=sock, port=81)
+        yield Syscall("listen", sock=sock, backlog=3)
+        held.append(sock)
+        while True:
+            yield Sleep(1_000_000.0)
+
+    held = []
+    sc.server.spawn("deaf", deaf_listener())
+    injector = RawSynInjector(sc.sim, sc.network, "10.0.0.9", SERVER, 81)
+    sc.sim.schedule(20_000.0, injector.start, 100)
+    sc.sim.schedule(100_000.0, injector.stop)
+    sc.run(8_000_000.0)  # > HANDSHAKE_TIMEOUT
+    listener = held[0]
+    assert sc.server.stack.stats.get("tcp_handshake_expired") > 0
+    assert listener.incomplete == 0
+
+
+@pytest.mark.parametrize("arch", (Architecture.BSD,
+                                  Architecture.SOFT_LRP),
+                         ids=lambda a: a.value)
+def test_concurrent_connections(arch):
+    """Several clients served concurrently by a forking-style server."""
+    sc = Scenario(arch, time_wait_usec=50_000.0)
+    served = []
+
+    def master():
+        sock = yield Syscall("socket", stype="tcp")
+        yield Syscall("bind", sock=sock, port=80)
+        yield Syscall("listen", sock=sock, backlog=10)
+        n = 0
+        while True:
+            conn = yield Syscall("accept", sock=sock)
+            n += 1
+            sc.server.spawn(f"child-{n}", child(conn))
+
+    def child(conn):
+        got = yield Syscall("recv", sock=conn)
+        if got:
+            yield Syscall("send", sock=conn, nbytes=500)
+        yield Syscall("close", sock=conn)
+        served.append(got)
+
+    results = []
+    sc.server.spawn("master", master())
+    for i in range(4):
+        sc.client.spawn(f"cli{i}",
+                        one_shot_client(results, sc.sim, expect=500))
+    sc.run(2_000_000.0)
+    assert len(results) == 4
+    assert all(got == 500 for _, got in results)

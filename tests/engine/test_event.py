@@ -1,0 +1,76 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.engine.event import EventQueue
+
+
+def test_fifo_order_at_same_time():
+    q = EventQueue()
+    fired = []
+    q.push(5.0, fired.append, ("a",))
+    q.push(5.0, fired.append, ("b",))
+    q.push(5.0, fired.append, ("c",))
+    while True:
+        ev = q.pop()
+        if ev is None:
+            break
+        ev.callback(*ev.args)
+    assert fired == ["a", "b", "c"]
+
+
+def test_time_order():
+    q = EventQueue()
+    q.push(3.0, lambda: None)
+    q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    times = []
+    while True:
+        ev = q.pop()
+        if ev is None:
+            break
+        times.append(ev.time)
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_cancel_skips_event():
+    q = EventQueue()
+    fired = []
+    ev = q.push(1.0, fired.append, ("x",))
+    q.push(2.0, fired.append, ("y",))
+    ev.cancel()
+    while True:
+        e = q.pop()
+        if e is None:
+            break
+        e.callback(*e.args)
+    assert fired == ["y"]
+
+
+def test_cancel_is_idempotent():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    assert q.pop() is None
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.push(4.0, lambda: None)
+    ev.cancel()
+    assert q.peek_time() == 4.0
+
+
+def test_len_counts_heap_entries():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert len(q) == 2
+
+
+def test_pop_empty_returns_none():
+    q = EventQueue()
+    assert q.pop() is None
+    assert q.peek_time() is None

@@ -1,0 +1,140 @@
+"""Unit tests for SimProcess generator-stack mechanics."""
+
+import pytest
+
+from repro.engine.process import (
+    Compute,
+    ProcState,
+    SimProcess,
+    Syscall,
+    WaitChannel,
+)
+
+
+def make_proc(gen):
+    return SimProcess("test", gen)
+
+
+def test_step_returns_requests_in_order():
+    def main():
+        yield Compute(1.0)
+        yield Compute(2.0)
+
+    proc = make_proc(main())
+    first = proc.step()
+    second = proc.step()
+    assert isinstance(first, Compute) and first.usec == 1.0
+    assert isinstance(second, Compute) and second.usec == 2.0
+    assert proc.step() is None
+
+
+def test_send_value_delivered_to_yield():
+    got = []
+
+    def main():
+        value = yield Syscall("getpid")
+        got.append(value)
+
+    proc = make_proc(main())
+    proc.step()
+    proc.set_result(1234)
+    assert proc.step() is None
+    assert got == [1234]
+
+
+def test_nested_frame_return_value_propagates():
+    got = []
+
+    def handler():
+        yield Compute(1.0)
+        return "result"
+
+    def main():
+        value = yield Syscall("thing")
+        got.append(value)
+
+    proc = make_proc(main())
+    proc.step()                      # main yields the Syscall
+    proc.push_frame(handler())       # kernel pushes the handler
+    req = proc.step()                # handler's Compute
+    assert isinstance(req, Compute)
+    assert proc.step() is None or got  # handler returns, main resumes
+    assert got == ["result"]
+
+
+def test_deeply_nested_frames():
+    def inner():
+        yield Compute(1.0)
+        return 10
+
+    def outer():
+        value = yield Syscall("inner")
+        return value + 1
+
+    trace = []
+
+    def main():
+        value = yield Syscall("outer")
+        trace.append(value)
+
+    proc = make_proc(main())
+    proc.step()
+    proc.push_frame(outer())
+    proc.step()                 # outer yields Syscall("inner")
+    proc.push_frame(inner())
+    proc.step()                 # inner Compute
+    proc.step()                 # unwinds inner -> outer -> main
+    assert trace == [11]
+
+
+def test_throw_on_resume_propagates_into_generator():
+    caught = []
+
+    def main():
+        try:
+            yield Compute(1.0)
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    proc = make_proc(main())
+    proc.step()
+    proc.throw_on_resume(ValueError("boom"))
+    assert proc.step() is None
+    assert caught == ["boom"]
+
+
+def test_non_request_yield_raises_typeerror():
+    def main():
+        yield 42
+
+    proc = make_proc(main())
+    with pytest.raises(TypeError):
+        proc.step()
+
+
+def test_pids_are_unique():
+    p1 = make_proc(iter(()))
+    p2 = make_proc(iter(()))
+    assert p1.pid != p2.pid
+
+
+def test_initial_state_is_embryo():
+    proc = make_proc(iter(()))
+    assert proc.state == ProcState.EMBRYO
+    assert proc.alive
+
+
+def test_wait_channel_pop_order_and_remove():
+    chan = WaitChannel("t")
+    a, b = make_proc(iter(())), make_proc(iter(()))
+    chan.add(a)
+    chan.add(b)
+    assert len(chan) == 2
+    chan.remove(a)
+    assert chan.pop_one() is b
+    assert chan.pop_one() is None
+
+
+def test_compute_rejects_negative():
+    with pytest.raises(ValueError):
+        Compute(-1.0)

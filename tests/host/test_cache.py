@@ -1,0 +1,123 @@
+"""Unit tests for the cache-locality model."""
+
+import pytest
+
+from repro.engine.process import SimProcess
+from repro.host.cache import CacheModel
+from repro.host.costs import CostModel
+
+
+def make_proc(ws_kb):
+    proc = SimProcess(f"p{ws_kb}", iter(()))
+    proc.working_set_kb = ws_kb
+    return proc
+
+
+def make_cache(size_kb=1024.0, **overrides):
+    costs = CostModel(**overrides) if overrides else CostModel()
+    return CacheModel(costs, size_kb)
+
+
+def test_cold_start_penalty_is_full_working_set():
+    cache = make_cache()
+    proc = make_proc(100.0)
+    cache.register(proc)
+    penalty = cache.switch_penalty(proc)
+    assert penalty == pytest.approx(
+        100.0 * cache.costs.cache_refill_per_kb)
+
+
+def test_running_warms_the_cache():
+    cache = make_cache()
+    proc = make_proc(100.0)
+    cache.register(proc)
+    cache.on_run(proc, usec=1000.0)   # plenty of touch time
+    assert proc.cache_resident_kb == pytest.approx(100.0)
+    assert cache.switch_penalty(proc) == 0.0
+
+
+def test_partial_warmup():
+    cache = make_cache()
+    proc = make_proc(100.0)
+    cache.register(proc)
+    touch_rate = cache.costs.cache_touch_kb_per_usec
+    cache.on_run(proc, usec=10.0)
+    assert proc.cache_resident_kb == pytest.approx(10.0 * touch_rate)
+
+
+def test_capacity_eviction_when_overcommitted():
+    cache = make_cache(size_kb=100.0)
+    a, b = make_proc(80.0), make_proc(80.0)
+    cache.register(a)
+    cache.register(b)
+    cache.on_run(a, usec=1000.0)
+    cache.on_run(b, usec=1000.0)
+    total = a.cache_resident_kb + b.cache_resident_kb
+    assert total <= 100.0 + 1e-9
+    # A lost residency to make room for B.
+    assert a.cache_resident_kb < 80.0
+
+
+def test_no_eviction_when_cache_fits_everyone():
+    cache = make_cache(size_kb=1024.0)
+    a, b = make_proc(100.0), make_proc(100.0)
+    cache.register(a)
+    cache.register(b)
+    cache.on_run(a, usec=1000.0)
+    cache.on_run(b, usec=1000.0)
+    assert a.cache_resident_kb == pytest.approx(100.0)
+    assert b.cache_resident_kb == pytest.approx(100.0)
+
+
+def test_interrupt_pollution_is_unconditional():
+    cache = make_cache(size_kb=1024.0)
+    proc = make_proc(10.0)
+    cache.register(proc)
+    cache.on_run(proc, usec=1000.0)
+    assert proc.cache_resident_kb == pytest.approx(10.0)
+    cache.on_interrupt_pollution(100.0)   # 100us of interrupt work
+    expected_evicted = 100.0 * cache.costs.intr_pollution_kb_per_usec
+    assert proc.cache_resident_kb == pytest.approx(
+        10.0 - expected_evicted)
+
+
+def test_pollution_spread_proportionally():
+    cache = make_cache(size_kb=1024.0)
+    big, small = make_proc(90.0), make_proc(10.0)
+    cache.register(big)
+    cache.register(small)
+    cache.on_run(big, usec=1000.0)
+    cache.on_run(small, usec=1000.0)
+    cache.on_interrupt_pollution(500.0)   # evicts 10 KB total
+    lost_big = 90.0 - big.cache_resident_kb
+    lost_small = 10.0 - small.cache_resident_kb
+    assert lost_big == pytest.approx(9 * lost_small, rel=0.01)
+
+
+def test_unregister_stops_tracking():
+    cache = make_cache()
+    proc = make_proc(50.0)
+    cache.register(proc)
+    cache.on_run(proc, usec=1000.0)
+    cache.unregister(proc)
+    cache.on_interrupt_pollution(10_000.0)
+    # No crash, and the proc's state is no longer affected.
+    assert proc.cache_resident_kb == pytest.approx(50.0)
+
+
+def test_total_refill_accumulates():
+    cache = make_cache()
+    proc = make_proc(10.0)
+    cache.register(proc)
+    cache.switch_penalty(proc)
+    cache.switch_penalty(proc)
+    assert cache.total_refill_usec == pytest.approx(
+        2 * 10.0 * cache.costs.cache_refill_per_kb)
+
+
+def test_hot_set_clamped_to_cache_size():
+    cache = make_cache(size_kb=64.0)
+    proc = make_proc(1000.0)   # working set larger than the cache
+    cache.register(proc)
+    penalty = cache.switch_penalty(proc)
+    assert penalty == pytest.approx(64.0 * cache.costs.cache_refill_per_kb)

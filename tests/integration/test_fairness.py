@@ -1,0 +1,79 @@
+"""Integration tests: resource accounting and fairness (Table 2 /
+Figure 4 mechanisms at reduced scale)."""
+
+import pytest
+
+from repro.core import Architecture
+from repro.engine import Compute, Syscall
+from repro.workloads import RawUdpInjector
+from tests.helpers import SERVER, Scenario
+
+
+def run_worker_vs_flood(arch, rate=6_000, duration=1_000_000.0):
+    """A compute-bound worker shares the machine with a flooded blast
+    sink; returns (worker progress usec, worker interrupt bill)."""
+    sc = Scenario(arch)
+    progress = [0.0]
+
+    def worker():
+        while True:
+            yield Compute(1_000.0)
+            progress[0] += 1_000.0
+
+    def sink():
+        sock = yield Syscall("socket", stype="udp")
+        yield Syscall("bind", sock=sock, port=9000)
+        while True:
+            yield Syscall("recvfrom", sock=sock)
+
+    worker_proc = sc.server.spawn("worker", worker(),
+                                  working_set_kb=350.0)
+    sc.server.spawn("sink", sink())
+    injector = RawUdpInjector(sc.sim, sc.network, "10.0.0.9", SERVER,
+                              9000)
+    sc.sim.schedule(20_000.0, injector.start, rate)
+    sc.run(duration)
+    return progress[0], worker_proc.intr_time_charged
+
+
+def test_bsd_bills_worker_for_flood_interrupts():
+    _, billed = run_worker_vs_flood(Architecture.BSD)
+    assert billed > 50_000.0
+
+
+def test_lrp_barely_bills_worker():
+    _, bsd_billed = run_worker_vs_flood(Architecture.BSD)
+    _, ni_billed = run_worker_vs_flood(Architecture.NI_LRP)
+    assert ni_billed < bsd_billed / 10
+
+
+def test_worker_progress_ordering():
+    """The worker makes the most progress under NI-LRP, least under
+    BSD (Table 2's worker-elapsed-time ordering)."""
+    bsd, _ = run_worker_vs_flood(Architecture.BSD)
+    soft, _ = run_worker_vs_flood(Architecture.SOFT_LRP)
+    ni, _ = run_worker_vs_flood(Architecture.NI_LRP)
+    assert bsd < soft <= ni
+
+
+def test_receiver_priority_decays_with_its_own_traffic():
+    """LRP's feedback loop: a flooded receiver's priority decays
+    because *it* is charged for protocol processing, throttling its
+    own consumption rather than the whole machine's."""
+    sc = Scenario(Architecture.SOFT_LRP)
+
+    def sink():
+        sock = yield Syscall("socket", stype="udp")
+        yield Syscall("bind", sock=sock, port=9000)
+        while True:
+            yield Syscall("recvfrom", sock=sock)
+
+    receiver = sc.server.spawn("sink", sink())
+    injector = RawUdpInjector(sc.sim, sc.network, "10.0.0.9", SERVER,
+                              9000)
+    sc.sim.schedule(20_000.0, injector.start, 15_000)
+    sc.run(800_000.0)
+    # The receiver became effectively compute-bound: its scheduler
+    # priority number rose well above the base (50).
+    assert receiver.usrpri > 60.0
+    assert receiver.cpu_time > 400_000.0

@@ -1,0 +1,131 @@
+"""Integration tests: the paper's headline overload behaviours, run at
+reduced scale so the whole suite stays fast.  These assert *shape*
+relations between architectures, not absolute values."""
+
+import pytest
+
+from repro.core import Architecture
+from repro.engine import Syscall
+from repro.net.link import Network
+from repro.workloads import RawSynInjector, RawUdpInjector
+from tests.helpers import SERVER, Scenario
+
+
+def measure_throughput(arch, rate, window=400_000.0, warmup=200_000.0):
+    sc = Scenario(arch)
+    injector = RawUdpInjector(sc.sim, sc.network, "10.0.0.9", SERVER,
+                              9000)
+    count = [0]
+
+    def sink():
+        sock = yield Syscall("socket", stype="udp")
+        yield Syscall("bind", sock=sock, port=9000)
+        while True:
+            yield Syscall("recvfrom", sock=sock)
+            if sc.sim.now >= warmup:
+                count[0] += 1
+
+    sc.server.spawn("sink", sink())
+    sc.sim.schedule(20_000.0, injector.start, rate)
+    sc.run(warmup + window)
+    return count[0] * 1e6 / window
+
+
+class TestReceiveLivelock:
+    def test_bsd_collapses_under_overload(self):
+        low = measure_throughput(Architecture.BSD, 6_000)
+        high = measure_throughput(Architecture.BSD, 20_000)
+        assert low > 5_000
+        assert high < low / 4
+
+    def test_ni_lrp_holds_plateau(self):
+        mid = measure_throughput(Architecture.NI_LRP, 10_000)
+        high = measure_throughput(Architecture.NI_LRP, 20_000)
+        assert high >= mid * 0.95
+
+    def test_soft_lrp_declines_gently(self):
+        peak = measure_throughput(Architecture.SOFT_LRP, 10_000)
+        high = measure_throughput(Architecture.SOFT_LRP, 20_000)
+        assert high > peak * 0.4
+
+    def test_architecture_ordering_under_overload(self):
+        rate = 18_000
+        bsd = measure_throughput(Architecture.BSD, rate)
+        early = measure_throughput(Architecture.EARLY_DEMUX, rate)
+        soft = measure_throughput(Architecture.SOFT_LRP, rate)
+        ni = measure_throughput(Architecture.NI_LRP, rate)
+        assert bsd < early < soft < ni
+
+    def test_low_load_equivalence(self):
+        """No architecture penalizes light load (Table 1's point)."""
+        rates = [measure_throughput(arch, 3_000)
+                 for arch in Architecture]
+        assert all(r == pytest.approx(3_000, rel=0.02) for r in rates)
+
+
+class TestSynFloodResilience:
+    def run_http(self, arch, syn_rate):
+        from repro.apps import dummy_server, http_client, httpd_master
+        from repro.engine.process import Sleep
+
+        sc = Scenario(arch, time_wait_usec=100_000.0,
+                      redundant_pcb_lookup=True)
+        served, completions = [], []
+        sc.server.spawn("httpd", httpd_master(
+            sc.server.kernel, 80, backlog=16, served=served))
+        sc.server.spawn("dummy", dummy_server(81, backlog=3))
+
+        def delayed_client():
+            yield Sleep(20_000.0)
+            yield from http_client(SERVER, 80,
+                                   completions=completions,
+                                   clock=sc.sim)
+
+        for i in range(4):
+            sc.client.spawn(f"c{i}", delayed_client())
+        if syn_rate:
+            injector = RawSynInjector(sc.sim, sc.network, "10.0.0.9",
+                                      SERVER, 81)
+            sc.sim.schedule(50_000.0, injector.start, syn_rate)
+        sc.run(800_000.0)
+        return sum(1 for t in completions if t >= 300_000.0)
+
+    def test_bsd_http_starves_under_syn_flood(self):
+        base = self.run_http(Architecture.BSD, 0)
+        flooded = self.run_http(Architecture.BSD, 15_000)
+        assert flooded < base / 4
+
+    def test_lrp_http_survives_syn_flood(self):
+        base = self.run_http(Architecture.SOFT_LRP, 0)
+        flooded = self.run_http(Architecture.SOFT_LRP, 15_000)
+        assert flooded > base * 0.35
+
+
+class TestDropLocations:
+    def test_bsd_drops_late_lrp_drops_early(self):
+        results = {}
+        for arch in (Architecture.BSD, Architecture.SOFT_LRP):
+            sc = Scenario(arch)
+            injector = RawUdpInjector(sc.sim, sc.network, "10.0.0.9",
+                                      SERVER, 9000)
+
+            def sink():
+                sock = yield Syscall("socket", stype="udp")
+                yield Syscall("bind", sock=sock, port=9000)
+                while True:
+                    yield Syscall("recvfrom", sock=sock)
+
+            sc.server.spawn("sink", sink())
+            sc.sim.schedule(20_000.0, injector.start, 20_000)
+            sc.run(400_000.0)
+            results[arch] = sc.server.stack
+        bsd, lrp = results[Architecture.BSD], \
+            results[Architecture.SOFT_LRP]
+        # BSD invested IP processing in every packet it later dropped.
+        assert bsd.stats.get("drop_sockq") > 0 \
+            or bsd.stats.get("drop_ipq") > 0
+        # LRP shed at the channel without touching IP input for them.
+        lrp_channel_drops = sum(ch.total_discards
+                                for ch in lrp.udp_channels)
+        assert lrp_channel_drops > 1000
+        assert lrp.stats.get("ip_in") < 20_000 * 0.4 * 0.9

@@ -1,0 +1,131 @@
+"""Integration: TCP completes transfers despite packet loss and load.
+
+The simulated LAN's congestion knee drops packets stochastically; the
+TCP machine must recover via duplicate-ACK and timeout retransmission
+on every architecture.
+"""
+
+import pytest
+
+from repro.core import Architecture
+from repro.engine import Simulator, Sleep, Syscall
+from repro.net.link import Network
+from repro.core import build_host
+
+SERVER = "10.0.0.1"
+CLIENT = "10.0.0.2"
+
+
+def run_transfer(arch, total_bytes, congestion_knee=None, seed=3,
+                 limit=60_000_000.0):
+    sim = Simulator(seed=seed)
+    net = Network(sim, congestion_knee_pps=congestion_knee,
+                  congestion_slope=2e-4)
+    server = build_host(sim, net, SERVER, arch)
+    client = build_host(sim, net, CLIENT, Architecture.BSD)
+    finished = []
+
+    def receiver():
+        sock = yield Syscall("socket", stype="tcp")
+        yield Syscall("bind", sock=sock, port=5000)
+        yield Syscall("listen", sock=sock, backlog=2)
+        conn = yield Syscall("accept", sock=sock)
+        got = 0
+        while got < total_bytes:
+            n = yield Syscall("recv", sock=conn)
+            if n == 0:
+                break
+            got += n
+        finished.append((sim.now, got))
+
+    def sender():
+        yield Sleep(10_000.0)
+        sock = yield Syscall("socket", stype="tcp")
+        yield Syscall("connect", sock=sock, addr=SERVER, port=5000)
+        sent = 0
+        while sent < total_bytes:
+            n = yield Syscall("send", sock=sock,
+                              nbytes=min(32_768, total_bytes - sent))
+            sent += n
+        yield Syscall("close", sock=sock)
+
+    server.spawn("rx", receiver())
+    client.spawn("tx", sender())
+    while not finished and sim.now < limit:
+        sim.run_until(sim.now + 200_000.0)
+    return finished, server, client
+
+
+@pytest.mark.parametrize("arch", (Architecture.BSD,
+                                  Architecture.SOFT_LRP,
+                                  Architecture.NI_LRP),
+                         ids=lambda a: a.value)
+def test_bulk_transfer_completes_cleanly(arch):
+    finished, server, client = run_transfer(arch, 2_000_000)
+    assert finished
+    assert finished[0][1] == 2_000_000
+    # No retransmissions on a clean network.
+    conn = next(s.pcb for s in client.stack.sockets if s.pcb)
+    assert conn.retransmits == 0
+
+
+@pytest.mark.parametrize("arch", (Architecture.BSD,
+                                  Architecture.SOFT_LRP),
+                         ids=lambda a: a.value)
+def test_transfer_survives_lossy_network(arch):
+    """A congested network drops segments; TCP still delivers every
+    byte exactly once (sequence numbers guarantee it)."""
+    finished, server, client = run_transfer(
+        arch, 500_000, congestion_knee=800.0, seed=9)
+    assert finished, "transfer should complete despite loss"
+    assert finished[0][1] == 500_000
+    conn = next(s.pcb for s in client.stack.sockets if s.pcb)
+    assert conn.retransmits + conn.fast_retransmits > 0
+
+
+def test_throughput_scales_down_with_loss():
+    clean, _, _ = run_transfer(Architecture.SOFT_LRP, 1_000_000,
+                               seed=5)
+    lossy, _, _ = run_transfer(Architecture.SOFT_LRP, 1_000_000,
+                               congestion_knee=800.0, seed=5)
+    assert clean and lossy
+    assert lossy[0][0] > clean[0][0]  # took longer
+
+
+def test_many_small_transfers_with_short_time_wait():
+    """Connection churn: repeated connect/transfer/close cycles reuse
+    ports cleanly once TIME_WAIT expires."""
+    sim = Simulator(seed=4)
+    net = Network(sim)
+    server = build_host(sim, net, SERVER, Architecture.SOFT_LRP,
+                        time_wait_usec=20_000.0)
+    client = build_host(sim, net, CLIENT, Architecture.BSD,
+                        time_wait_usec=20_000.0)
+    done = []
+
+    def srv():
+        sock = yield Syscall("socket", stype="tcp")
+        yield Syscall("bind", sock=sock, port=5000)
+        yield Syscall("listen", sock=sock, backlog=4)
+        while True:
+            conn = yield Syscall("accept", sock=sock)
+            yield Syscall("recv", sock=conn)
+            yield Syscall("send", sock=conn, nbytes=100)
+            yield Syscall("close", sock=conn)
+
+    def cli():
+        yield Sleep(10_000.0)
+        for _ in range(10):
+            sock = yield Syscall("socket", stype="tcp")
+            status = yield Syscall("connect", sock=sock, addr=SERVER,
+                                   port=5000)
+            if status == 0:
+                yield Syscall("send", sock=sock, nbytes=10)
+                yield Syscall("recv", sock=sock)
+                done.append(sim.now)
+            yield Syscall("close", sock=sock)
+
+    server.spawn("srv", srv())
+    client.spawn("cli", cli())
+    sim.run_until(5_000_000.0)
+    assert len(done) == 10

@@ -1,0 +1,90 @@
+"""Unit tests for mbufs and the mbuf pool."""
+
+import pytest
+
+from repro.mem import (
+    MCLBYTES,
+    MLEN,
+    MbufExhausted,
+    MbufPool,
+    buffers_needed,
+)
+
+
+class TestBuffersNeeded:
+    def test_small_packet_single_mbuf(self):
+        assert buffers_needed(1) == 1
+        assert buffers_needed(MLEN) == 1
+
+    def test_two_mbufs(self):
+        assert buffers_needed(MLEN + 1) == 2
+        assert buffers_needed(2 * MLEN) == 2
+
+    def test_clusters_for_large_packets(self):
+        assert buffers_needed(MCLBYTES) == 1
+        assert buffers_needed(MCLBYTES + 1) == 2
+        assert buffers_needed(3 * MCLBYTES) == 3
+
+    def test_zero_bytes(self):
+        assert buffers_needed(0) == 1
+
+
+class TestMbufPool:
+    def test_allocate_and_free_roundtrip(self):
+        pool = MbufPool(capacity=10)
+        chain = pool.allocate(50)
+        assert pool.in_use == 1
+        chain.free()
+        assert pool.in_use == 0
+
+    def test_chain_count_matches_size(self):
+        pool = MbufPool(capacity=100)
+        chain = pool.allocate(3 * MCLBYTES)
+        assert chain.count == 3
+        assert pool.in_use == 3
+
+    def test_exhaustion_raises(self):
+        pool = MbufPool(capacity=2)
+        pool.allocate(50)
+        pool.allocate(50)
+        with pytest.raises(MbufExhausted):
+            pool.allocate(50)
+        assert pool.exhaustions == 1
+
+    def test_try_allocate_returns_none_when_exhausted(self):
+        pool = MbufPool(capacity=1)
+        assert pool.try_allocate(50) is not None
+        assert pool.try_allocate(50) is None
+
+    def test_free_is_idempotent(self):
+        pool = MbufPool(capacity=4)
+        chain = pool.allocate(50)
+        chain.free()
+        chain.free()
+        assert pool.in_use == 0
+
+    def test_peak_tracking(self):
+        pool = MbufPool(capacity=10)
+        chains = [pool.allocate(50) for _ in range(5)]
+        for chain in chains:
+            chain.free()
+        assert pool.peak_in_use == 5
+        assert pool.in_use == 0
+
+    def test_payload_carried(self):
+        pool = MbufPool(capacity=4)
+        marker = object()
+        chain = pool.allocate(10, payload=marker)
+        assert chain.payload is marker
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MbufPool(capacity=0)
+
+    def test_freeing_more_than_allocated_is_detected(self):
+        pool = MbufPool(capacity=4)
+        chain = pool.allocate(50)
+        chain.free()
+        chain.count = 1  # simulate corruption
+        with pytest.raises(AssertionError):
+            chain.free()

@@ -1,0 +1,53 @@
+"""Unit tests for IP addresses and endpoints."""
+
+import pytest
+
+from repro.net.addr import ANY_ADDR, IPAddr, endpoint
+
+
+def test_parse_dotted_quad():
+    addr = IPAddr("10.0.0.1")
+    assert addr.value == (10 << 24) | 1
+    assert str(addr) == "10.0.0.1"
+
+
+def test_int_roundtrip():
+    addr = IPAddr(0xC0A80101)
+    assert str(addr) == "192.168.1.1"
+
+
+def test_equality_across_forms():
+    assert IPAddr("10.0.0.1") == IPAddr(IPAddr("10.0.0.1"))
+    assert IPAddr("10.0.0.1") == "10.0.0.1"
+    assert IPAddr("10.0.0.1") == 0x0A000001
+
+
+def test_hashable():
+    table = {IPAddr("10.0.0.1"): "a"}
+    assert table[IPAddr("10.0.0.1")] == "a"
+
+
+def test_bad_quad_rejected():
+    with pytest.raises(ValueError):
+        IPAddr("10.0.0")
+    with pytest.raises(ValueError):
+        IPAddr("10.0.0.256")
+    with pytest.raises(ValueError):
+        IPAddr(-1)
+    with pytest.raises(TypeError):
+        IPAddr(3.14)
+
+
+def test_to_bytes_big_endian():
+    assert IPAddr("1.2.3.4").to_bytes() == bytes([1, 2, 3, 4])
+
+
+def test_any_addr_is_zero():
+    assert ANY_ADDR.value == 0
+
+
+def test_endpoint_validation():
+    ep = endpoint("10.0.0.1", 80)
+    assert str(ep) == "10.0.0.1:80"
+    with pytest.raises(ValueError):
+        endpoint("10.0.0.1", 70000)

@@ -1,0 +1,140 @@
+"""Unit tests for the LAN model."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.net.addr import IPAddr
+from repro.net.ip import IPPROTO_UDP, IpPacket
+from repro.net.link import Network
+from repro.net.packet import Frame, aal5_wire_bytes
+from repro.net.udp import UdpDatagram
+
+
+class FakeNic:
+    def __init__(self):
+        self.frames = []
+
+    def receive_frame(self, frame):
+        self.frames.append(frame)
+
+
+def make_frame(dst="10.0.0.2", nbytes=14):
+    dgram = UdpDatagram(1, 2, payload_len=nbytes)
+    packet = IpPacket(IPAddr("10.0.0.1"), IPAddr(dst), IPPROTO_UDP,
+                      dgram, dgram.total_len)
+    return Frame(packet)
+
+
+def test_aal5_cell_rounding():
+    # 42-byte PDU + 8 trailer = 50 -> 2 cells -> 106 wire bytes.
+    assert aal5_wire_bytes(42) == 106
+    assert aal5_wire_bytes(40) == 53
+    assert aal5_wire_bytes(41) == 106
+
+
+def test_delivery_between_attached_nics():
+    sim = Simulator()
+    net = Network(sim)
+    a, b = FakeNic(), FakeNic()
+    net.attach(a, IPAddr("10.0.0.1"))
+    net.attach(b, IPAddr("10.0.0.2"))
+    assert net.send(make_frame(), IPAddr("10.0.0.1"))
+    sim.run_until(10_000.0)
+    assert len(b.frames) == 1
+    assert net.frames_delivered == 1
+
+
+def test_unknown_destination_dropped():
+    sim = Simulator()
+    net = Network(sim)
+    a = FakeNic()
+    net.attach(a, IPAddr("10.0.0.1"))
+    assert not net.send(make_frame("10.9.9.9"), IPAddr("10.0.0.1"))
+    assert net.drops_no_route == 1
+
+
+def test_duplicate_attach_rejected():
+    sim = Simulator()
+    net = Network(sim)
+    net.attach(FakeNic(), IPAddr("10.0.0.1"))
+    with pytest.raises(ValueError):
+        net.attach(FakeNic(), IPAddr("10.0.0.1"))
+
+
+def test_propagation_and_serialization_delay():
+    sim = Simulator()
+    net = Network(sim, bandwidth_bits_per_usec=155.0,
+                  propagation_usec=10.0)
+    a, b = FakeNic(), FakeNic()
+    net.attach(a, IPAddr("10.0.0.1"))
+    net.attach(b, IPAddr("10.0.0.2"))
+    frame = make_frame()
+    net.send(frame, IPAddr("10.0.0.1"))
+    sim.run()
+    # tx + propagation + rx serialization: 2*wire_time + 10us.
+    wire = frame.wire_len * 8.0 / 155.0
+    assert sim.now == pytest.approx(2 * wire + 10.0)
+
+
+def test_frames_keep_order_per_destination():
+    sim = Simulator()
+    net = Network(sim)
+    a, b = FakeNic(), FakeNic()
+    net.attach(a, IPAddr("10.0.0.1"))
+    net.attach(b, IPAddr("10.0.0.2"))
+    frames = [make_frame() for _ in range(10)]
+    for frame in frames:
+        net.send(frame, IPAddr("10.0.0.1"))
+    sim.run()
+    assert b.frames == frames
+
+
+def test_port_queue_overflow_drops():
+    sim = Simulator()
+    net = Network(sim, port_queue_frames=4)
+    a, b = FakeNic(), FakeNic()
+    net.attach(a, IPAddr("10.0.0.1"))
+    net.attach(b, IPAddr("10.0.0.2"))
+    sent = sum(net.send(make_frame(nbytes=8000), IPAddr("10.0.0.1"))
+               for _ in range(10))
+    assert sent == 4
+    assert net.drops_port_queue == 6
+
+
+def test_congestion_knee_drops_stochastically():
+    sim = Simulator(seed=7)
+    net = Network(sim, congestion_knee_pps=1000.0,
+                  congestion_slope=1e-3)
+    a, b = FakeNic(), FakeNic()
+    net.attach(a, IPAddr("10.0.0.1"))
+    net.attach(b, IPAddr("10.0.0.2"))
+
+    def send_burst(i=0):
+        if i >= 2000:
+            return
+        net.send(make_frame(), IPAddr("10.0.0.1"))
+        sim.schedule(100.0, send_burst, i + 1)  # 10k pps >> knee
+
+    send_burst()
+    sim.run()
+    assert net.drops_congestion > 0
+    assert len(b.frames) < 2000
+
+
+def test_no_congestion_without_knee():
+    sim = Simulator(seed=7)
+    net = Network(sim)
+    a, b = FakeNic(), FakeNic()
+    net.attach(a, IPAddr("10.0.0.1"))
+    net.attach(b, IPAddr("10.0.0.2"))
+
+    def send_burst(i=0):
+        if i >= 500:
+            return
+        net.send(make_frame(), IPAddr("10.0.0.1"))
+        sim.schedule(50.0, send_burst, i + 1)
+
+    send_burst()
+    sim.run()
+    assert net.drops_congestion == 0
+    assert len(b.frames) == 500

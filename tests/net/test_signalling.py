@@ -1,0 +1,137 @@
+"""Unit tests for the VCI signalling directory and its end-to-end use
+by NI-LRP (the U-Net firmware's demux-by-VCI fast path)."""
+
+import pytest
+
+from repro.engine import Sleep, Syscall
+from repro.net.ip import IPPROTO_TCP, IPPROTO_UDP
+from repro.net.signalling import SignallingDirectory
+from repro.core import Architecture
+from tests.helpers import SERVER, Scenario, udp_echo_server, udp_sender
+
+
+class TestDirectory:
+    def test_assign_is_idempotent(self):
+        d = SignallingDirectory()
+        a = d.assign("10.0.0.1", IPPROTO_UDP, 9000)
+        b = d.assign("10.0.0.1", IPPROTO_UDP, 9000)
+        assert a == b
+        assert d.size == 1
+
+    def test_distinct_endpoints_distinct_vcis(self):
+        d = SignallingDirectory()
+        vcis = {d.assign("10.0.0.1", IPPROTO_UDP, p)
+                for p in range(9000, 9010)}
+        assert len(vcis) == 10
+
+    def test_reserved_range_avoided(self):
+        d = SignallingDirectory()
+        assert d.assign("10.0.0.1", IPPROTO_UDP, 9000) >= 32
+
+    def test_flow_vci_beats_port_vci(self):
+        d = SignallingDirectory()
+        port_vci = d.assign("10.0.0.1", IPPROTO_TCP, 80)
+        flow_vci = d.assign_flow("10.0.0.1", IPPROTO_TCP, 80,
+                                 "10.0.0.2", 5555)
+        assert d.lookup("10.0.0.1", IPPROTO_TCP, 80) == port_vci
+        assert d.lookup("10.0.0.1", IPPROTO_TCP, 80,
+                        src_addr="10.0.0.2", src_port=5555) == flow_vci
+
+    def test_withdraw(self):
+        d = SignallingDirectory()
+        d.assign("10.0.0.1", IPPROTO_UDP, 9000)
+        d.withdraw("10.0.0.1", IPPROTO_UDP, 9000)
+        assert d.lookup("10.0.0.1", IPPROTO_UDP, 9000) is None
+
+    def test_withdraw_flow(self):
+        d = SignallingDirectory()
+        d.assign_flow("10.0.0.1", IPPROTO_TCP, 80, "10.0.0.2", 5555)
+        d.withdraw_flow("10.0.0.1", IPPROTO_TCP, 80, "10.0.0.2", 5555)
+        assert d.lookup("10.0.0.1", IPPROTO_TCP, 80,
+                        src_addr="10.0.0.2", src_port=5555) is None
+
+
+class TestNiLrpVciPath:
+    def test_bind_publishes_vci(self):
+        sc = Scenario(Architecture.NI_LRP)
+        held = []
+
+        def app():
+            sock = yield Syscall("socket", stype="udp")
+            yield Syscall("bind", sock=sock, port=9000)
+            held.append(sock)
+            yield Syscall("recvfrom", sock=sock)
+
+        sc.server.spawn("app", app())
+        sc.run(10_000.0)
+        signalling = sc.network.signalling
+        assert signalling.lookup(SERVER, IPPROTO_UDP, 9000) is not None
+        assert held[0]._vci >= 32
+
+    def test_senders_stamp_vci_and_nic_uses_fast_path(self):
+        sc = Scenario(Architecture.NI_LRP)
+        log = []
+        sc.server.spawn("echo", udp_echo_server(9000, log, sc.sim))
+        sc.client.spawn("send", udp_sender(SERVER, 9000, count=20))
+        sc.run(200_000.0)
+        assert len(log) == 20
+        # Every data packet was classified on the NIC.
+        assert sc.server.nic.rx_demuxed == 20
+
+    def test_close_withdraws_vci(self):
+        sc = Scenario(Architecture.NI_LRP)
+
+        def app():
+            sock = yield Syscall("socket", stype="udp")
+            yield Syscall("bind", sock=sock, port=9000)
+            yield Syscall("close", sock=sock)
+
+        sc.server.spawn("app", app())
+        sc.run(10_000.0)
+        assert sc.network.signalling.lookup(
+            SERVER, IPPROTO_UDP, 9000) is None
+
+    def test_tcp_children_get_flow_vcis(self):
+        sc = Scenario(Architecture.NI_LRP, time_wait_usec=50_000.0)
+        served = []
+
+        def srv():
+            sock = yield Syscall("socket", stype="tcp")
+            yield Syscall("bind", sock=sock, port=80)
+            yield Syscall("listen", sock=sock, backlog=4)
+            conn = yield Syscall("accept", sock=sock)
+            served.append(conn)
+            yield Syscall("recv", sock=conn)
+            yield Syscall("send", sock=conn, nbytes=100)
+            yield Syscall("close", sock=conn)
+
+        def cli():
+            yield Sleep(10_000.0)
+            sock = yield Syscall("socket", stype="tcp")
+            yield Syscall("connect", sock=sock, addr=SERVER, port=80)
+            yield Syscall("send", sock=sock, nbytes=10)
+            yield Syscall("recv", sock=sock)
+            yield Syscall("close", sock=sock)
+
+        sc.server.spawn("srv", srv())
+        sc.client.spawn("cli", cli())
+        sc.run(1_000_000.0)
+        assert served
+        child = served[0]
+        assert getattr(child, "_vci", None) is None or child._vci >= 32
+        # The listener's port-level VCI exists throughout.
+        assert sc.network.signalling.lookup(
+            SERVER, IPPROTO_TCP, 80) is not None
+
+    def test_soft_lrp_does_not_publish(self):
+        sc = Scenario(Architecture.SOFT_LRP)
+
+        def app():
+            sock = yield Syscall("socket", stype="udp")
+            yield Syscall("bind", sock=sock, port=9000)
+            yield Syscall("recvfrom", sock=sock)
+
+        sc.server.spawn("app", app())
+        sc.run(10_000.0)
+        assert sc.network.signalling.lookup(
+            SERVER, IPPROTO_UDP, 9000) is None

@@ -1,0 +1,66 @@
+"""Unit tests for TCP segments and sequence arithmetic."""
+
+from hypothesis import given, strategies as st
+
+from repro.net.tcp import (
+    ACK,
+    FIN,
+    SEQ_MOD,
+    SYN,
+    TcpSegment,
+    seq_add,
+    seq_diff,
+    seq_ge,
+    seq_gt,
+    seq_le,
+    seq_lt,
+)
+
+
+def test_seq_wraparound_comparisons():
+    near_top = SEQ_MOD - 10
+    assert seq_lt(near_top, 5)          # 5 is "after" wrap
+    assert seq_gt(5, near_top)
+    assert seq_diff(5, near_top) == 15
+
+
+def test_seq_add_wraps():
+    assert seq_add(SEQ_MOD - 1, 2) == 1
+
+
+def test_seq_equalities():
+    assert seq_le(7, 7)
+    assert seq_ge(7, 7)
+    assert not seq_lt(7, 7)
+    assert not seq_gt(7, 7)
+
+
+@given(st.integers(0, SEQ_MOD - 1), st.integers(0, 2**20))
+def test_add_then_diff_roundtrip(base, delta):
+    assert seq_diff(seq_add(base, delta), base) == delta
+
+
+@given(st.integers(0, SEQ_MOD - 1), st.integers(0, SEQ_MOD - 1))
+def test_trichotomy(a, b):
+    assert seq_lt(a, b) + seq_gt(a, b) + (seq_diff(a, b) == 0) == 1
+
+
+def test_seq_space_counts_syn_and_fin():
+    syn = TcpSegment(1, 2, seq=0, flags=SYN)
+    assert syn.seq_space == 1
+    fin_data = TcpSegment(1, 2, seq=0, flags=FIN | ACK, payload_len=10)
+    assert fin_data.seq_space == 11
+    plain = TcpSegment(1, 2, seq=0, flags=ACK, payload_len=100)
+    assert plain.seq_space == 100
+
+
+def test_flag_names():
+    seg = TcpSegment(1, 2, seq=0, flags=SYN | ACK)
+    assert seg.flag_names() == "SYN|ACK"
+    assert TcpSegment(1, 2, seq=0).flag_names() == "-"
+
+
+def test_seq_fields_reduced_mod_2_32():
+    seg = TcpSegment(1, 2, seq=SEQ_MOD + 5, ack=SEQ_MOD + 7)
+    assert seg.seq == 5
+    assert seg.ack == 7

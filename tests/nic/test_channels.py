@@ -1,0 +1,52 @@
+"""Unit tests for NI channels."""
+
+from repro.nic.channels import NiChannel
+
+
+def test_offer_and_pop_fifo():
+    chan = NiChannel("t", depth=3)
+    assert chan.offer("a")
+    assert chan.offer("b")
+    assert chan.pop() == "a"
+    assert chan.pop() == "b"
+    assert chan.pop() is None
+
+
+def test_early_discard_when_full():
+    chan = NiChannel("t", depth=2)
+    assert chan.offer(1)
+    assert chan.offer(2)
+    assert not chan.offer(3)
+    assert chan.discarded_full == 1
+    assert chan.enqueued == 2
+    assert len(chan) == 2
+
+
+def test_disabled_channel_discards_everything():
+    chan = NiChannel("t", depth=10)
+    chan.processing_enabled = False
+    assert not chan.offer(1)
+    assert chan.discarded_disabled == 1
+    assert len(chan) == 0
+
+
+def test_reenabling_restores_acceptance():
+    chan = NiChannel("t", depth=10)
+    chan.processing_enabled = False
+    chan.offer(1)
+    chan.processing_enabled = True
+    assert chan.offer(2)
+    assert chan.total_discards == 1
+
+
+def test_draining_makes_room():
+    chan = NiChannel("t", depth=1)
+    chan.offer(1)
+    assert not chan.offer(2)
+    chan.pop()
+    assert chan.offer(3)
+
+
+def test_kind_defaults_to_udp():
+    assert NiChannel("t").kind == "udp"
+    assert NiChannel("t", kind="tcp").kind == "tcp"

@@ -1,0 +1,133 @@
+"""Unit tests for the LRP demultiplexing function."""
+
+from repro.net.addr import IPAddr
+from repro.net.ip import IPPROTO_ICMP, IPPROTO_TCP, IPPROTO_UDP, IpPacket
+from repro.net.ip import fragment_packet
+from repro.net.tcp import SYN, TcpSegment
+from repro.net.udp import UdpDatagram
+from repro.nic.channels import NiChannel
+from repro.nic.demux import (
+    DAEMON,
+    FRAGMENT,
+    MATCHED,
+    UNMATCHED,
+    DemuxTable,
+    flow_key,
+)
+
+SRC = IPAddr("10.0.0.2")
+DST = IPAddr("10.0.0.1")
+
+
+def udp_packet(dst_port=9000, src_port=1234, payload_len=14):
+    dgram = UdpDatagram(src_port, dst_port, payload_len=payload_len)
+    return IpPacket(SRC, DST, IPPROTO_UDP, dgram, dgram.total_len)
+
+
+def tcp_packet(dst_port=80, src_port=5555):
+    seg = TcpSegment(src_port, dst_port, seq=1, flags=SYN)
+    return IpPacket(SRC, DST, IPPROTO_TCP, seg, seg.total_len)
+
+
+def test_wildcard_match_udp():
+    table = DemuxTable()
+    chan = NiChannel("udp-9000")
+    table.register_wildcard(IPPROTO_UDP, 9000, chan)
+    outcome, got = table.demux(udp_packet())
+    assert outcome == MATCHED and got is chan
+
+
+def test_exact_match_beats_wildcard():
+    table = DemuxTable()
+    wild, exact = NiChannel("wild"), NiChannel("exact")
+    table.register_wildcard(IPPROTO_TCP, 80, wild)
+    table.register_exact(
+        flow_key(IPPROTO_TCP, DST, 80, SRC, 5555), exact)
+    outcome, got = table.demux(tcp_packet())
+    assert got is exact
+    outcome, got = table.demux(tcp_packet(src_port=6666))
+    assert got is wild
+
+
+def test_unmatched_packet():
+    table = DemuxTable()
+    outcome, got = table.demux(udp_packet())
+    assert outcome == UNMATCHED and got is None
+
+
+def test_protocol_disambiguates_ports():
+    table = DemuxTable()
+    udp_chan, tcp_chan = NiChannel("u"), NiChannel("t")
+    table.register_wildcard(IPPROTO_UDP, 80, udp_chan)
+    table.register_wildcard(IPPROTO_TCP, 80, tcp_chan)
+    assert table.demux(udp_packet(dst_port=80))[1] is udp_chan
+    assert table.demux(tcp_packet(dst_port=80))[1] is tcp_chan
+
+
+def test_daemon_channel_for_icmp():
+    table = DemuxTable()
+    daemon = NiChannel("icmpd", kind="daemon")
+    table.register_daemon(IPPROTO_ICMP, daemon)
+    packet = IpPacket(SRC, DST, IPPROTO_ICMP, None, 8)
+    outcome, got = table.demux(packet)
+    assert outcome == DAEMON and got is daemon
+
+
+def test_headless_fragment_goes_to_special_channel():
+    table = DemuxTable()
+    chan = NiChannel("udp-9000")
+    table.register_wildcard(IPPROTO_UDP, 9000, chan)
+    frags = fragment_packet(udp_packet(payload_len=4000), mtu=1500)
+    # Continuation fragment arrives before the head fragment.
+    outcome, got = table.demux(frags[1])
+    assert outcome == FRAGMENT
+    assert got is table.fragment_channel
+
+
+def test_first_fragment_installs_hint_for_rest():
+    table = DemuxTable()
+    chan = NiChannel("udp-9000")
+    table.register_wildcard(IPPROTO_UDP, 9000, chan)
+    frags = fragment_packet(udp_packet(payload_len=4000), mtu=1500)
+    outcome, got = table.demux(frags[0])
+    assert got is chan
+    # Later fragments of the same datagram now follow the hint.
+    outcome, got = table.demux(frags[1])
+    assert outcome == MATCHED and got is chan
+    table.clear_fragment_hint(frags[0].src, frags[0].ident)
+    outcome, got = table.demux(frags[2])
+    assert outcome == FRAGMENT
+
+
+def test_vci_fast_path():
+    table = DemuxTable()
+    chan = NiChannel("vci-42")
+    table.register_vci(42, chan)
+    outcome, got = table.demux_by_vci(42)
+    assert outcome == MATCHED and got is chan
+    outcome, got = table.demux_by_vci(99)
+    assert outcome == UNMATCHED and got is None
+    outcome, got = table.demux_by_vci(None)
+    assert got is None
+
+
+def test_unregister_paths():
+    table = DemuxTable()
+    chan = NiChannel("c")
+    key = flow_key(IPPROTO_TCP, DST, 80, SRC, 5555)
+    table.register_exact(key, chan)
+    table.register_wildcard(IPPROTO_UDP, 9000, chan)
+    table.register_vci(7, chan)
+    assert table.channel_count == 3
+    table.unregister_exact(key)
+    table.unregister_wildcard(IPPROTO_UDP, 9000)
+    table.unregister_vci(7)
+    assert table.channel_count == 0
+    assert table.demux(tcp_packet())[0] == UNMATCHED
+
+
+def test_lookup_counter():
+    table = DemuxTable()
+    table.demux(udp_packet())
+    table.demux_by_vci(1)
+    assert table.lookups == 2

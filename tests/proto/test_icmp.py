@@ -1,0 +1,36 @@
+"""Unit tests for ICMP messages."""
+
+from repro.proto.icmp import (
+    DEST_UNREACHABLE,
+    ECHO_REPLY,
+    ECHO_REQUEST,
+    PORT_UNREACHABLE_CODE,
+    echo_request,
+    make_reply,
+    port_unreachable,
+)
+
+
+def test_echo_request_reply_roundtrip():
+    request = echo_request(ident=7, seq=3, payload_len=56)
+    reply = make_reply(request)
+    assert reply is not None
+    assert reply.mtype == ECHO_REPLY
+    assert reply.ident == 7
+    assert reply.seq == 3
+    assert reply.payload_len == 56
+
+
+def test_no_reply_for_non_echo():
+    assert make_reply(port_unreachable()) is None
+
+
+def test_port_unreachable_fields():
+    msg = port_unreachable(payload_len=28)
+    assert msg.mtype == DEST_UNREACHABLE
+    assert msg.code == PORT_UNREACHABLE_CODE
+    assert msg.total_len == 8 + 28
+
+
+def test_total_len_includes_icmp_header():
+    assert echo_request(1, 1, 0).total_len == 8

@@ -1,0 +1,72 @@
+"""Unit tests for the PCB tables."""
+
+import pytest
+
+from repro.net.addr import IPAddr
+from repro.proto.pcb import EPHEMERAL_BASE, PcbTable, PortInUse
+
+LADDR = IPAddr("10.0.0.1")
+FADDR = IPAddr("10.0.0.2")
+
+
+def test_bind_and_wildcard_lookup():
+    table = PcbTable()
+    sock = object()
+    table.bind(sock, LADDR, 9000)
+    assert table.lookup(LADDR, 9000, FADDR, 1234) is sock
+
+
+def test_exact_match_beats_wildcard():
+    table = PcbTable()
+    listener, child = object(), object()
+    table.bind(listener, LADDR, 80)
+    table.connect(child, LADDR, 80, FADDR, 5555)
+    assert table.lookup(LADDR, 80, FADDR, 5555) is child
+    assert table.lookup(LADDR, 80, FADDR, 6666) is listener
+
+
+def test_duplicate_bind_rejected():
+    table = PcbTable()
+    table.bind(object(), LADDR, 9000)
+    with pytest.raises(PortInUse):
+        table.bind(object(), LADDR, 9000)
+
+
+def test_duplicate_connect_rejected():
+    table = PcbTable()
+    table.connect(object(), LADDR, 80, FADDR, 5555)
+    with pytest.raises(PortInUse):
+        table.connect(object(), LADDR, 80, FADDR, 5555)
+
+
+def test_unbind_and_disconnect():
+    table = PcbTable()
+    a, b = object(), object()
+    table.bind(a, LADDR, 9000)
+    table.connect(b, LADDR, 80, FADDR, 5555)
+    table.unbind(9000)
+    table.disconnect(LADDR, 80, FADDR, 5555)
+    assert table.lookup(LADDR, 9000, FADDR, 1) is None
+    assert table.lookup(LADDR, 80, FADDR, 5555) is None
+    assert table.size == 0
+
+
+def test_ephemeral_ports_skip_bound_ones():
+    table = PcbTable()
+    table.bind(object(), LADDR, EPHEMERAL_BASE)
+    port = table.alloc_port()
+    assert port != EPHEMERAL_BASE
+    assert port > EPHEMERAL_BASE
+
+
+def test_ephemeral_ports_distinct():
+    table = PcbTable()
+    ports = {table.alloc_port() for _ in range(100)}
+    assert len(ports) == 100
+
+
+def test_lookup_counts():
+    table = PcbTable()
+    table.lookup(LADDR, 1, FADDR, 2)
+    table.lookup(LADDR, 1, FADDR, 2)
+    assert table.lookups == 2

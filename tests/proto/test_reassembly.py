@@ -1,0 +1,112 @@
+"""Unit tests for IP reassembly."""
+
+from hypothesis import given, strategies as st
+
+from repro.net.addr import IPAddr
+from repro.net.ip import IPPROTO_UDP, IpPacket, fragment_packet
+from repro.net.udp import UdpDatagram
+from repro.nic.channels import NiChannel
+from repro.proto.reassembly import IPFRAGTTL_USEC, Reassembler
+
+
+def make_fragments(payload_len=4000, mtu=1500, ident=None):
+    dgram = UdpDatagram(1, 2, payload_len=payload_len - 8)
+    packet = IpPacket(IPAddr("10.0.0.2"), IPAddr("10.0.0.1"),
+                      IPPROTO_UDP, dgram, payload_len, ident=ident)
+    return packet, fragment_packet(packet, mtu)
+
+
+def test_in_order_reassembly():
+    packet, frags = make_fragments()
+    r = Reassembler()
+    results = [r.add(f, now=0.0) for f in frags]
+    assert results[:-1] == [None] * (len(frags) - 1)
+    whole = results[-1]
+    assert whole is not None
+    assert whole.payload_len == packet.payload_len
+    assert whole.transport is packet.transport
+    assert r.pending == 0
+    assert r.completed == 1
+
+
+def test_out_of_order_reassembly():
+    packet, frags = make_fragments()
+    r = Reassembler()
+    order = [frags[2], frags[0], frags[1]]
+    results = [r.add(f, now=0.0) for f in order]
+    assert results[-1] is not None
+    assert results[-1].payload_len == packet.payload_len
+
+
+def test_non_fragment_passes_through():
+    dgram = UdpDatagram(1, 2, payload_len=10)
+    packet = IpPacket(IPAddr(1), IPAddr(2), IPPROTO_UDP, dgram, 18)
+    r = Reassembler()
+    assert r.add(packet, now=0.0) is packet
+
+
+def test_missing_fragment_keeps_pending():
+    _, frags = make_fragments()
+    r = Reassembler()
+    r.add(frags[0], now=0.0)
+    r.add(frags[2], now=0.0)
+    assert r.pending == 1
+    assert r.has_pending(frags[0].src, frags[0].ident)
+
+
+def test_interleaved_datagrams():
+    p1, f1 = make_fragments(ident=101)
+    p2, f2 = make_fragments(ident=102)
+    r = Reassembler()
+    r.add(f1[0], 0.0)
+    r.add(f2[0], 0.0)
+    r.add(f1[1], 0.0)
+    done2 = [r.add(f, 0.0) for f in f2[1:]]
+    done1 = r.add(f1[2], 0.0)
+    assert done1 is not None and done1.ident == 101
+    assert done2[-1] is not None and done2[-1].ident == 102
+
+
+def test_expiry():
+    _, frags = make_fragments()
+    r = Reassembler()
+    r.add(frags[0], now=0.0)
+    assert r.expire(now=IPFRAGTTL_USEC / 2) == 0
+    assert r.expire(now=IPFRAGTTL_USEC * 2) == 1
+    assert r.pending == 0
+    assert r.expired == 1
+
+
+def test_drain_special_channel():
+    packet, frags = make_fragments()
+    r = Reassembler()
+    channel = NiChannel("frag", kind="frag")
+    # Tail fragments were parked on the special channel.
+    for frag in frags[1:]:
+        channel.offer(frag)
+    r.add(frags[0], now=0.0)
+    done = r.drain_special(channel, now=0.0)
+    assert len(done) == 1
+    assert done[0].payload_len == packet.payload_len
+    assert len(channel) == 0
+
+
+def test_stamp_propagates_to_reassembled_packet():
+    packet, frags = make_fragments()
+    frags[0].stamp = 123.0
+    r = Reassembler()
+    whole = None
+    for f in frags:
+        whole = r.add(f, now=0.0)
+    assert whole.stamp == 123.0
+
+
+@given(st.permutations(range(5)))
+def test_any_arrival_order_completes(order):
+    packet, frags = make_fragments(payload_len=7000, mtu=1500)
+    assert len(frags) == 5
+    r = Reassembler()
+    results = [r.add(frags[i], now=0.0) for i in order]
+    completed = [x for x in results if x is not None]
+    assert len(completed) == 1
+    assert completed[0].payload_len == packet.payload_len

@@ -1,0 +1,70 @@
+"""Unit tests for socket buffers."""
+
+from hypothesis import given, strategies as st
+
+from repro.sockets.sockbuf import DatagramQueue, StreamBuffer
+
+
+class TestDatagramQueue:
+    def test_fifo(self):
+        q = DatagramQueue(depth=5)
+        q.offer("a", "srcA")
+        q.offer("b", "srcB")
+        assert q.pop() == ("a", "srcA")
+        assert q.pop() == ("b", "srcB")
+        assert q.pop() is None
+
+    def test_drop_on_full(self):
+        q = DatagramQueue(depth=2)
+        assert q.offer(1, None)
+        assert q.offer(2, None)
+        assert not q.offer(3, None)
+        assert q.dropped_full == 1
+        assert q.enqueued == 2
+
+    def test_room_after_pop(self):
+        q = DatagramQueue(depth=1)
+        q.offer(1, None)
+        q.pop()
+        assert q.offer(2, None)
+
+
+class TestStreamBuffer:
+    def test_put_take_counts(self):
+        buf = StreamBuffer(hiwat=100)
+        assert buf.put(60) == 60
+        assert buf.space == 40
+        assert buf.take(50) == 50
+        assert buf.used == 10
+
+    def test_put_clamped_to_space(self):
+        buf = StreamBuffer(hiwat=100)
+        assert buf.put(150) == 100
+        assert buf.put(1) == 0
+
+    def test_take_clamped_to_used(self):
+        buf = StreamBuffer(hiwat=100)
+        buf.put(30)
+        assert buf.take(50) == 30
+        assert buf.take(10) == 0
+
+    def test_totals(self):
+        buf = StreamBuffer(hiwat=100)
+        buf.put(70)
+        buf.take(70)
+        buf.put(50)
+        assert buf.total_in == 120
+        assert buf.total_out == 70
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 200)),
+                    max_size=50))
+    def test_invariants(self, ops):
+        buf = StreamBuffer(hiwat=100)
+        for is_put, n in ops:
+            if is_put:
+                buf.put(n)
+            else:
+                buf.take(n)
+            assert 0 <= buf.used <= buf.hiwat
+            assert buf.space == buf.hiwat - buf.used
+        assert buf.total_in - buf.total_out == buf.used

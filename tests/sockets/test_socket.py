@@ -1,0 +1,60 @@
+"""Unit tests for Socket objects."""
+
+from repro.net.addr import endpoint
+from repro.sockets.socket import Socket, SockType
+
+
+def test_dgram_socket_has_datagram_queue():
+    sock = Socket(SockType.DGRAM)
+    assert sock.rcv_dgrams is not None
+    assert sock.rcv_stream is None
+    assert sock.snd_stream is None
+
+
+def test_stream_socket_has_stream_buffers():
+    sock = Socket(SockType.STREAM)
+    assert sock.rcv_dgrams is None
+    assert sock.rcv_stream is not None
+    assert sock.snd_stream is not None
+
+
+def test_ids_unique():
+    assert Socket(SockType.DGRAM).id != Socket(SockType.DGRAM).id
+
+
+def test_bound_and_connected_predicates():
+    sock = Socket(SockType.STREAM)
+    assert not sock.bound and not sock.connected
+    sock.local = endpoint("10.0.0.1", 80)
+    assert sock.bound
+    sock.peer = endpoint("10.0.0.2", 5555)
+    assert sock.connected
+
+
+def test_backlog_full_counts_half_open_and_queued():
+    listener = Socket(SockType.STREAM)
+    listener.backlog = 4       # BSD limit: 4 + 4//2 = 6
+    assert not listener.backlog_full()
+    listener.incomplete = 5
+    assert not listener.backlog_full()
+    listener.incomplete = 6
+    assert listener.backlog_full()
+    listener.incomplete = 3
+    listener.accept_queue.extend([object()] * 3)
+    assert listener.backlog_full()
+
+
+def test_backlog_zero_still_allows_one():
+    listener = Socket(SockType.STREAM)
+    listener.backlog = 0
+    assert not listener.backlog_full()
+    listener.incomplete = 1
+    assert listener.backlog_full()
+
+
+def test_custom_buffer_sizes():
+    sock = Socket(SockType.STREAM, rcv_hiwat=1024, snd_hiwat=2048)
+    assert sock.rcv_stream.hiwat == 1024
+    assert sock.snd_stream.hiwat == 2048
+    dgram = Socket(SockType.DGRAM, rcv_depth=7)
+    assert dgram.rcv_dgrams.depth == 7

@@ -1,0 +1,94 @@
+"""Unit tests for instrumentation helpers."""
+
+import math
+
+import pytest
+
+from repro.stats.metrics import Counter, IntervalRate, LatencyRecorder
+from repro.stats.report import format_series, format_table
+
+
+class TestCounter:
+    def test_incr_and_get(self):
+        c = Counter()
+        c.incr("a")
+        c.incr("a", 4)
+        assert c.get("a") == 5
+        assert c.get("missing") == 0
+
+    def test_as_dict_copies(self):
+        c = Counter()
+        c.incr("x")
+        d = c.as_dict()
+        d["x"] = 99
+        assert c.get("x") == 1
+
+
+class TestLatencyRecorder:
+    def test_summary_stats(self):
+        r = LatencyRecorder()
+        for v in (10.0, 20.0, 30.0, 40.0):
+            r.record(v)
+        assert r.mean == 25.0
+        assert r.minimum == 10.0
+        assert r.maximum == 40.0
+        assert r.median == 20.0
+        assert r.percentile(100) == 40.0
+        assert r.percentile(0) == 10.0
+
+    def test_empty_is_nan(self):
+        r = LatencyRecorder()
+        assert math.isnan(r.mean)
+        assert math.isnan(r.median)
+
+    def test_samples_since_filters_by_stamp(self):
+        r = LatencyRecorder()
+        r.record(1.0, now=100.0)
+        r.record(2.0, now=200.0)
+        r.record(3.0, now=300.0)
+        assert r.samples_since(150.0) == [2.0, 3.0]
+        assert r.samples_since(0.0) == [1.0, 2.0, 3.0]
+
+    def test_record_without_stamp_excluded_from_since(self):
+        r = LatencyRecorder()
+        r.record(1.0)
+        assert r.samples_since(0.0) == []
+
+
+class TestIntervalRate:
+    def test_rate_in_window(self):
+        rate = IntervalRate()
+        rate.open_window(1_000_000.0)
+        for t in (1_100_000.0, 1_200_000.0, 1_300_000.0):
+            rate.note(t)
+        rate.close_window(2_000_000.0)
+        assert rate.rate_per_sec() == pytest.approx(3.0)
+
+    def test_events_outside_window_ignored(self):
+        rate = IntervalRate()
+        rate.open_window(1_000_000.0)
+        rate.note(500_000.0)       # before
+        rate.close_window(2_000_000.0)
+        rate.note(2_500_000.0)     # after
+        assert rate.count == 0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(("name", "value"),
+                            [("a", 1), ("longer", 22.5)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "22.50" in text
+
+    def test_format_series(self):
+        text = format_series("t", "x", "y",
+                             {"s1": [(1, 10), (2, 20)],
+                              "s2": [(1, 11), (2, 21)]})
+        assert "s1 y" in text and "s2 y" in text
+        assert "== t ==" in text
+
+    def test_nan_rendered_as_dash(self):
+        text = format_table(("v",), [(float("nan"),)])
+        assert "-" in text.splitlines()[-1]
