@@ -25,6 +25,7 @@ from repro.net.ip import IPPROTO_ICMP, IPPROTO_TCP, IPPROTO_UDP, IpPacket
 from repro.net.packet import Frame
 from repro.core.stack_base import NetworkStack
 from repro.sockets.socket import Socket
+from repro.trace.tracer import flow_of
 
 #: BSD IPQ length limit (ipintrq.ifq_maxlen, traditionally 50).
 IPQ_MAXLEN = 50
@@ -53,17 +54,26 @@ class BsdStack(NetworkStack):
             yield Compute(self.costs.hw_intr + self.costs.mbuf_alloc)
             ring_release()
             self.stats.incr("rx_packets")
+            trace = self.sim.trace
             chain = self.mbufs.try_allocate(frame.packet.total_len,
                                             frame.packet)
             if chain is None:
                 self.stats.incr("drop_mbufs")
+                if trace.enabled:
+                    trace.pkt_drop("mbufs", flow_of(frame.packet),
+                                   reason="pool_exhausted")
                 return
             if len(self.ipq) >= self.ipq_maxlen:
                 # The shared-IP-queue drop: any flow can push any other
                 # flow's packets out here.
                 self.stats.incr("drop_ipq")
+                if trace.enabled:
+                    trace.pkt_drop("ipq", flow_of(frame.packet),
+                                   reason="ipq_full")
                 chain.free()
                 return
+            if trace.enabled:
+                trace.pkt_enqueue("ipq", flow_of(frame.packet))
             frame.packet._mbuf_chain = chain
             self.ipq.append(frame.packet)
             if not self._softnet_posted:
@@ -172,6 +182,9 @@ class BsdStack(NetworkStack):
                 sock.msgs_received += 1
                 sock.bytes_received += dgram.payload_len
                 self.stats.incr("udp_delivered")
+                if self.sim.trace.enabled:
+                    self.sim.trace.pkt_deliver("app",
+                                               sock.trace_flow(src))
                 return dgram, src, stamp
             yield Block(sock.rcv_wait)
 

@@ -26,6 +26,7 @@ from repro.net.ip import IPPROTO_ICMP, IPPROTO_TCP, IPPROTO_UDP, IpPacket
 from repro.net.packet import Frame
 from repro.core.lrp_base import LrpStackBase
 from repro.sockets.socket import Socket, SockType
+from repro.trace.tracer import flow_of
 
 
 class EarlyDemuxStack(LrpStackBase):
@@ -52,9 +53,13 @@ class EarlyDemuxStack(LrpStackBase):
             yield Compute(self.costs.hw_intr + self.costs.soft_demux)
             ring_release()
             self.stats.incr("rx_packets")
+            trace = self.sim.trace
             outcome, channel = self.demux_table.demux(frame.packet)
             if channel is None:
                 self.stats.incr("drop_demux_unmatched")
+                if trace.enabled:
+                    trace.pkt_drop("demux", flow_of(frame.packet),
+                                   reason="unmatched")
                 return
             sock = channel.owner_socket
             if (sock is not None and sock.stype == SockType.DGRAM
@@ -65,6 +70,9 @@ class EarlyDemuxStack(LrpStackBase):
                 # packets that would have entered a data queue.
                 self.stats.incr("drop_early_sockq_full")
                 channel.discarded_full += 1
+                if trace.enabled:
+                    trace.pkt_drop("sockq", flow_of(frame.packet),
+                                   reason="early_sockq_full")
                 return
             self.kernel.cpu.post(IntrTask(
                 self._eager_input(frame.packet), SOFTWARE,
@@ -117,6 +125,9 @@ class EarlyDemuxStack(LrpStackBase):
                 sock.msgs_received += 1
                 sock.bytes_received += dgram.payload_len
                 self.stats.incr("udp_delivered")
+                if self.sim.trace.enabled:
+                    self.sim.trace.pkt_deliver("app",
+                                               sock.trace_flow(src))
                 return dgram, src, stamp
             yield Block(sock.rcv_wait)
 

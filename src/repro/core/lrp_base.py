@@ -189,6 +189,9 @@ class LrpStackBase(NetworkStack):
                 sock.msgs_received += 1
                 sock.bytes_received += dgram.payload_len
                 self.stats.incr("udp_delivered")
+                if self.sim.trace.enabled:
+                    self.sim.trace.pkt_deliver("app",
+                                               sock.trace_flow(src))
                 return dgram, src, stamp
             channel = sock.channel
             packet = channel.pop() if channel is not None else None
@@ -216,6 +219,9 @@ class LrpStackBase(NetworkStack):
                 sock.msgs_received += 1
                 sock.bytes_received += dgram.payload_len
                 self.stats.incr("udp_delivered")
+                if self.sim.trace.enabled:
+                    self.sim.trace.pkt_deliver("app",
+                                               sock.trace_flow(src))
                 return dgram, src, stamp
             if channel is None:
                 yield Block(sock.rcv_wait)

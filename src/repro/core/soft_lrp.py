@@ -20,6 +20,7 @@ from repro.host.interrupts import HARDWARE, IntrTask
 from repro.net.packet import Frame
 from repro.core.lrp_base import LrpStackBase
 from repro.sockets.socket import Socket
+from repro.trace.tracer import flow_of
 
 
 class SoftLrpStack(LrpStackBase):
@@ -34,17 +35,30 @@ class SoftLrpStack(LrpStackBase):
             yield Compute(self.costs.hw_intr + self.costs.soft_demux)
             ring_release()
             self.stats.incr("rx_packets")
+            trace = self.sim.trace
             outcome, channel = self.demux_table.demux(frame.packet)
             if channel is None:
                 self.stats.incr("drop_demux_unmatched")
+                if trace.enabled:
+                    trace.pkt_drop("demux", flow_of(frame.packet),
+                                   reason="unmatched")
                 return
             was_empty = len(channel) == 0
             if channel.offer(frame.packet):
+                if trace.enabled:
+                    trace.pkt_enqueue("ni_channel",
+                                      flow_of(frame.packet))
                 self.on_channel_filled(channel, was_empty)
             else:
                 # Early packet discard: no further host resources are
                 # spent (Section 3, technique 2).
                 self.stats.incr("drop_channel_early")
+                if trace.enabled:
+                    trace.pkt_drop(
+                        "ni_channel", flow_of(frame.packet),
+                        reason=("disabled"
+                                if not channel.processing_enabled
+                                else "early_discard"))
 
         return IntrTask(body(), HARDWARE, "rx-demux", charge)
 

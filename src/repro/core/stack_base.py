@@ -53,6 +53,7 @@ from repro.proto.tcp_proto import (
 from repro.proto.tcp_states import TcpState
 from repro.sockets.socket import Socket, SockType, SocketError
 from repro.stats.metrics import Counter
+from repro.trace.tracer import flow_of
 
 #: Classical-IP-over-ATM MTU, as on the paper's testbed.
 DEFAULT_MTU = 9180
@@ -233,6 +234,7 @@ class NetworkStack:
             sock.owner = proc
             conn = TcpConnection(sock, sock.local, sock.peer,
                                  time_wait_usec=self.time_wait_usec)
+            conn.trace_hook = self._trace_tcp_state
             sock.pcb = conn
             self.endpoint_attached(sock)
             yield Compute(self.costs.tcp_output)
@@ -539,6 +541,19 @@ class NetworkStack:
         self.kernel.wake_all(sock.rcv_wait)
         self.kernel.wake_all(sock.snd_wait)
 
+    def _trace_tcp_state(self, conn: TcpConnection, old, new) -> None:
+        """Installed as ``TcpConnection.trace_hook`` on every
+        connection this stack creates; emits a ``tcp_state_change``
+        record per transition."""
+        trace = self.sim.trace
+        if not trace.enabled:
+            return
+        flow = (f"{conn.local.addr}:{conn.local.port}"
+                f">{conn.peer.addr}:{conn.peer.port}")
+        trace.tcp_state_change(flow,
+                               old.name if old is not None else "NONE",
+                               new.name)
+
     # -- TCP timers -------------------------------------------------------
     def _arm_timer(self, sock: Socket, kind: str, delay: float) -> None:
         self._cancel_timer(sock, kind)
@@ -605,6 +620,7 @@ class NetworkStack:
         child.peer = endpoint(packet.src, seg.src_port)
         conn = TcpConnection(child, child.local, child.peer,
                              time_wait_usec=self.time_wait_usec)
+        conn.trace_hook = self._trace_tcp_state
         conn.open_passive(listener)
         child.pcb = conn
         self.sockets.append(child)
@@ -646,14 +662,20 @@ class NetworkStack:
         src = endpoint(packet.src, dgram.src_port)
         targets = (self.udp_pcb.members(sock.local.port)
                    if getattr(sock, "shared_bind", False) else (sock,))
+        trace = self.sim.trace
         delivered = False
         for member in targets:
             if member.rcv_dgrams.offer((dgram, packet.stamp), src):
                 self.stats.incr("udp_queued")
+                if trace.enabled:
+                    trace.pkt_deliver("sockq", flow_of(packet))
                 self.kernel.wake_one(member.rcv_wait)
                 delivered = True
             else:
                 self.stats.incr("drop_sockq")
+                if trace.enabled:
+                    trace.pkt_drop("sockq", flow_of(packet),
+                                   reason="sockq_full")
         return delivered
 
     # ------------------------------------------------------------------

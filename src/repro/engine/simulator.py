@@ -13,6 +13,12 @@ import random
 from typing import Any, Callable, Optional
 
 from repro.engine.event import Event, EventQueue
+from repro.trace.tracer import (
+    NULL_TRACER,
+    Tracer,
+    callback_name,
+    get_default_tracer,
+)
 
 #: Number of microseconds in one second, for readability at call sites.
 USEC_PER_SEC = 1_000_000.0
@@ -31,14 +37,28 @@ class Simulator:
         Seed for the simulator-owned :class:`random.Random`.  All
         stochastic components draw from this generator so that entire
         experiments are reproducible bit-for-bit.
+    tracer:
+        Optional :class:`~repro.trace.tracer.Tracer` receiving every
+        engine/host/stack trace record.  Defaults to the process-wide
+        default tracer if one is installed (see
+        :func:`repro.trace.set_default_tracer`), else a shared
+        disabled tracer — call sites guard on ``trace.enabled``, so
+        tracing is free when off.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0,
+                 tracer: Optional[Tracer] = None) -> None:
         self.now: float = 0.0
         self.rng = random.Random(seed)
         self._queue = EventQueue()
         self._running = False
         self.events_processed = 0
+        if tracer is None:
+            tracer = get_default_tracer()
+        if tracer is None:
+            tracer = NULL_TRACER
+        self.trace = tracer
+        tracer.attach(self)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -86,6 +106,8 @@ class Simulator:
                 assert event is not None
                 self.now = event.time
                 self.events_processed += 1
+                if self.trace.enabled:
+                    self.trace.event_fired(callback_name(event.callback))
                 event.callback(*event.args)
         finally:
             self._running = False
@@ -102,6 +124,8 @@ class Simulator:
                     break
                 self.now = event.time
                 self.events_processed += 1
+                if self.trace.enabled:
+                    self.trace.event_fired(callback_name(event.callback))
                 event.callback(*event.args)
                 processed += 1
                 if max_events is not None and processed >= max_events:

@@ -11,6 +11,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.trace import Tracer, set_default_tracer
 from repro.experiments import (
     ablations,
     figure3,
@@ -41,13 +42,31 @@ def main(argv=None) -> int:
                         help="which experiment to run")
     parser.add_argument("--fast", action="store_true",
                         help="smaller sweeps / shorter windows")
+    parser.add_argument("--trace", metavar="OUT.JSONL", default=None,
+                        help="stream an event trace of every simulated "
+                             "run to this JSONL file (see docs/TRACING.md)")
     args = parser.parse_args(argv)
+
+    tracer = None
+    if args.trace is not None:
+        tracer = Tracer()
+        try:
+            tracer.open_sink(args.trace)
+        except OSError as exc:
+            parser.error(f"cannot open trace file: {exc}")
+        set_default_tracer(tracer)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
-    for name in names:
-        print(f"\n##### {name} #####")
-        EXPERIMENTS[name](fast=args.fast)
+    try:
+        for name in names:
+            print(f"\n##### {name} #####")
+            EXPERIMENTS[name](fast=args.fast)
+    finally:
+        if tracer is not None:
+            set_default_tracer(None)
+            tracer.close()
+            print(f"\ntrace written to {args.trace}")
     return 0
 
 

@@ -29,7 +29,13 @@ from collections import deque
 from typing import Optional
 
 from repro.engine.simulator import Simulator
-from repro.host.interrupts import HARDWARE, PROCESS, SOFTWARE, IntrTask
+from repro.host.interrupts import (
+    CLASS_NAMES,
+    HARDWARE,
+    PROCESS,
+    SOFTWARE,
+    IntrTask,
+)
 
 #: Round-robin quantum, microseconds (4.3BSD: 100 ms).
 DEFAULT_QUANTUM = 100_000.0
@@ -77,6 +83,9 @@ class Cpu:
     # ------------------------------------------------------------------
     def post(self, task: IntrTask) -> None:
         """Queue an interrupt task for execution."""
+        if self.sim.trace.enabled:
+            self.sim.trace.interrupt_raised(
+                task.label, CLASS_NAMES[task.work_class])
         if task.work_class == HARDWARE:
             self._hw.append(task)
         else:
@@ -182,6 +191,11 @@ class Cpu:
             self._dispatching = False
 
     def _start_slice(self, ctx, duration: float) -> None:
+        if ctx.work_class != PROCESS and not ctx.dispatched:
+            ctx.dispatched = True
+            if self.sim.trace.enabled:
+                self.sim.trace.interrupt_dispatched(
+                    ctx.label, CLASS_NAMES[ctx.work_class])
         if ctx.work_class == PROCESS:
             self.last_process_running = ctx
             remaining_quantum = self.quantum - ctx.stint

@@ -55,7 +55,7 @@ class IntrTask:
     """
 
     __slots__ = ("gen", "work_class", "label", "charge", "pending",
-                 "done", "total_consumed")
+                 "done", "total_consumed", "dispatched")
 
     def __init__(self, gen: Iterator, work_class: int, label: str,
                  charge: Optional[Callable[[float], None]] = None):
@@ -68,6 +68,10 @@ class IntrTask:
         self.pending = 0.0      # microseconds left in the current Compute
         self.done = False
         self.total_consumed = 0.0   # lifetime CPU, for pollution scaling
+        #: Set by the CPU the first time this task starts executing,
+        #: so the tracer emits one ``interrupt_dispatched`` per task
+        #: even across preemptions.
+        self.dispatched = False
 
     def begin(self) -> Optional[float]:
         """Return the next compute duration, or ``None`` when finished.

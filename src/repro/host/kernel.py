@@ -111,6 +111,7 @@ class Kernel:
         self.costs = costs
         self.cpu = Cpu(sim)
         self.scheduler = Scheduler()
+        self.scheduler.trace = sim.trace
         self.cpu.process_source = self.scheduler
         self.accounting = Accounting(self.scheduler, accounting_policy)
         self.cache = CacheModel(costs, cache_size_kb)
@@ -197,22 +198,42 @@ class Kernel:
             proc.throw_on_resume(
                 KernelPanic(f"unknown syscall {call.name!r}"))
             return True
+        traced = self.sim.trace.enabled
+        if traced:
+            self.sim.trace.syscall_enter(proc.name, call.name)
         proc.compute_remaining += self.costs.syscall_overhead
         if inspect.isgeneratorfunction(handler):
-            proc.push_frame(handler(self, proc, **call.kwargs))
+            gen = handler(self, proc, **call.kwargs)
+            proc.push_frame(self._traced_syscall(proc, call.name, gen)
+                            if traced else gen)
             return True
         try:
             result = handler(self, proc, **call.kwargs)
         except Exception as exc:
+            if traced:
+                self.sim.trace.syscall_exit(proc.name, call.name)
             proc.throw_on_resume(exc)
             return True
         if inspect.isgenerator(result):
             # Handlers may return a generator (common for bound
             # methods wrapping an inner generator); run it as a frame.
-            proc.push_frame(result)
+            proc.push_frame(self._traced_syscall(proc, call.name, result)
+                            if traced else result)
         else:
             proc.set_result(result)
+            if traced:
+                self.sim.trace.syscall_exit(proc.name, call.name)
         return True
+
+    def _traced_syscall(self, proc: SimProcess, name: str, gen):
+        """Wrap a syscall handler frame so its completion (normal or
+        exceptional) emits ``syscall_exit``.  Only interposed while
+        tracing is enabled, keeping the disabled path frame-free."""
+        try:
+            result = yield from gen
+        finally:
+            self.sim.trace.syscall_exit(proc.name, name)
+        return result
 
     def register_syscall(self, name: str, handler: SyscallHandler) -> None:
         self.syscalls[name] = handler

@@ -55,6 +55,9 @@ class Scheduler:
         self.all_processes: List = []   # every live SimProcess, for decay
         self.context_switches = 0
         self._last_proc = None
+        #: Tracer wired in by the kernel; emits ``context_switch``
+        #: records at the single point where real switches are counted.
+        self.trace = None
 
     # ------------------------------------------------------------------
     # Process-source protocol (consumed by the CPU)
@@ -76,6 +79,8 @@ class Scheduler:
         if ctx.proc is not self._last_proc:
             self.context_switches += 1
             ctx.switched_in = True
+            if self.trace is not None and self.trace.enabled:
+                self.trace.context_switch(ctx.proc.name)
         self._last_proc = ctx.proc
         return ctx
 

@@ -16,6 +16,7 @@ from repro.engine.simulator import Simulator
 from repro.net.addr import IPAddr
 from repro.net.link import Network
 from repro.net.packet import Frame
+from repro.trace.tracer import flow_of
 
 #: BSD IFQ_MAXLEN.
 IFQ_MAXLEN = 50
@@ -44,9 +45,15 @@ class BaseNic:
     # ------------------------------------------------------------------
     def transmit(self, frame: Frame) -> bool:
         """Queue *frame* for transmission; False if the ifq was full."""
+        trace = self.sim.trace
         if len(self.ifq) >= self.ifq_maxlen:
             self.tx_drops_ifq += 1
+            if trace.enabled:
+                trace.pkt_drop("ifq", flow_of(frame.packet),
+                               reason="ifq_full")
             return False
+        if trace.enabled:
+            trace.pkt_enqueue("ifq", flow_of(frame.packet))
         self.ifq.append(frame)
         if not self._tx_busy:
             self._tx_next()

@@ -26,6 +26,7 @@ from repro.net.packet import Frame
 from repro.nic.base import BaseNic
 from repro.nic.channels import NiChannel
 from repro.nic.demux import DAEMON, FRAGMENT, MATCHED, DemuxTable
+from repro.trace.tracer import flow_of
 
 #: Frames the NIC processor's input FIFO holds.
 DEFAULT_NIC_FIFO = 128
@@ -71,6 +72,9 @@ class ProgrammableNic(BaseNic):
         # the host, like all NI-side drops).
         if len(self._fifo) >= self.fifo_size:
             self.rx_drops_fifo += 1
+            if self.sim.trace.enabled:
+                self.sim.trace.pkt_drop("ni_fifo", flow_of(frame.packet),
+                                        reason="fifo_full")
             return
         self._fifo.append(frame)
         start = max(self.sim.now, self._next_service)
@@ -90,15 +94,27 @@ class ProgrammableNic(BaseNic):
                             else (None, None))
         if channel is None:
             outcome, channel = self.table.demux(frame.packet)
+        trace = self.sim.trace
         if outcome in (MATCHED, DAEMON, FRAGMENT) and channel is not None:
             was_empty = len(channel) == 0
             if channel.offer(frame.packet):
                 self.rx_demuxed += 1
+                if trace.enabled:
+                    trace.pkt_enqueue("ni_channel",
+                                      flow_of(frame.packet))
                 if was_empty and channel.interrupts_requested:
                     self._raise_host_interrupt(channel)
             # else: early packet discard, zero host cost.
+            elif trace.enabled:
+                trace.pkt_drop(
+                    "ni_channel", flow_of(frame.packet),
+                    reason=("disabled" if not channel.processing_enabled
+                            else "early_discard"))
             return
         self.rx_unmatched += 1
+        if trace.enabled:
+            trace.pkt_drop("ni_demux", flow_of(frame.packet),
+                           reason="unmatched")
 
     def _raise_host_interrupt(self, channel: NiChannel) -> None:
         self.host_interrupts += 1

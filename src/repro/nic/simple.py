@@ -17,6 +17,7 @@ from repro.net.addr import IPAddr
 from repro.net.link import Network
 from repro.net.packet import Frame
 from repro.nic.base import BaseNic
+from repro.trace.tracer import flow_of
 
 #: Receive DMA ring size, frames.
 DEFAULT_RX_RING = 64
@@ -42,15 +43,24 @@ class SimpleNic(BaseNic):
 
     def receive_frame(self, frame: Frame) -> None:
         self.rx_frames += 1
+        trace = self.sim.trace
         if self.rx_ring_used >= self.rx_ring_size:
             self.rx_drops_ring += 1
+            if trace.enabled:
+                trace.pkt_drop("rx_ring", flow_of(frame.packet),
+                               reason="ring_full")
             return
         if self.stack is None:
             self.rx_drops_ring += 1
+            if trace.enabled:
+                trace.pkt_drop("rx_ring", flow_of(frame.packet),
+                               reason="no_stack")
             return
         task = self.stack.rx_interrupt(frame, self._ring_release)
         if task is None:
             return
+        if trace.enabled:
+            trace.pkt_enqueue("rx_ring", flow_of(frame.packet))
         self.rx_ring_used += 1
         self.stack.kernel.cpu.post(task)
 

@@ -101,6 +101,24 @@ class TcpActions:
 class TcpConnection:
     """Transmission control block plus the event functions."""
 
+    #: Optional ``hook(conn, old_state, new_state)`` invoked on every
+    #: state transition.  The network stack wires this to the tracer's
+    #: ``tcp_state_change`` emitter; the state machine itself stays
+    #: observer-agnostic.  Class attribute so assignment in
+    #: ``__init__`` works before any instance hook is installed.
+    trace_hook = None
+
+    @property
+    def state(self):
+        return self._state
+
+    @state.setter
+    def state(self, value) -> None:
+        old = getattr(self, "_state", None)
+        self._state = value
+        if self.trace_hook is not None and old is not value:
+            self.trace_hook(self, old, value)
+
     def __init__(self, sock, local: Endpoint, peer: Endpoint,
                  mss: int = DEFAULT_MSS,
                  time_wait_usec: float = TIME_WAIT_DEFAULT):

@@ -87,6 +87,20 @@ class Socket:
         self.msgs_sent = 0
 
     # ------------------------------------------------------------------
+    def trace_flow(self, src: Optional[Endpoint] = None) -> str:
+        """A stable trace label for traffic arriving at this socket:
+        ``src:sport>local:lport/proto``.  Mirrors
+        :func:`repro.trace.flow_of` but is built from endpoint state,
+        for paths where the original packet is no longer in hand.
+        Contains no process-global identifiers (trace determinism)."""
+        proto = 17 if self.stype == SockType.DGRAM else 6
+        local = (f"{self.local.addr}:{self.local.port}"
+                 if self.local is not None else "?:-")
+        origin = src if src is not None else self.peer
+        remote = (f"{origin.addr}:{origin.port}"
+                  if origin is not None else "*:-")
+        return f"{remote}>{local}/{proto}"
+
     @property
     def bound(self) -> bool:
         return self.local is not None

@@ -1,0 +1,50 @@
+"""Event-level tracing and the golden-trace regression harness.
+
+See :mod:`repro.trace.tracer` for the record schema and
+:mod:`repro.trace.golden` for the digest harness; ``python -m
+repro.trace --help`` for the tooling CLI.
+"""
+
+from repro.trace.diff import (
+    diff_files,
+    first_divergence,
+    load_jsonl,
+    render_divergence,
+)
+from repro.trace.tracer import (
+    CAT_ENGINE,
+    CAT_INTR,
+    CAT_PKT,
+    CAT_SCHED,
+    CAT_SYSCALL,
+    CAT_TCP,
+    CATEGORIES,
+    NULL_TRACER,
+    TraceRecord,
+    Tracer,
+    callback_name,
+    flow_of,
+    get_default_tracer,
+    set_default_tracer,
+)
+
+__all__ = [
+    "CAT_ENGINE",
+    "CAT_INTR",
+    "CAT_PKT",
+    "CAT_SCHED",
+    "CAT_SYSCALL",
+    "CAT_TCP",
+    "CATEGORIES",
+    "NULL_TRACER",
+    "TraceRecord",
+    "Tracer",
+    "callback_name",
+    "diff_files",
+    "first_divergence",
+    "flow_of",
+    "get_default_tracer",
+    "load_jsonl",
+    "render_divergence",
+    "set_default_tracer",
+]

@@ -1,0 +1,162 @@
+"""Golden-trace regression harness.
+
+One canonical small workload per architecture (4.4BSD, SOFT-LRP,
+NI-LRP): a seeded two-host scenario exercising the UDP receive path,
+the TCP handshake/data/teardown path, syscalls, interrupts, and the
+scheduler.  The full event trace of each run is reduced to a stable
+digest (per-event-type counts plus an order-sensitive hash) and
+checked into ``tests/golden/``.  Any change that perturbs the causal
+event order of a stack — intentionally or not — breaks the digest, and
+``python -m repro.trace diff`` pinpoints the first diverging record.
+
+The workload must stay deterministic independent of process history:
+records carry no process-global identifiers (see
+:mod:`repro.trace.tracer`), and everything stochastic draws from the
+seeded simulator RNG.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from repro.trace.tracer import Tracer
+
+#: Version tag stored in golden files; bump when the workload itself
+#: (not the traced code) changes shape.
+WORKLOAD = "golden-v1"
+
+#: Seed for the canonical runs.
+GOLDEN_SEED = 42
+#: Simulated duration, microseconds.
+GOLDEN_DURATION = 80_000.0
+#: UDP datagrams sent by the client process.
+N_DGRAMS = 10
+#: Bytes pushed over the TCP connection.
+TCP_BYTES = 4096
+
+#: Golden architectures, keyed by the file-name slug.
+GOLDEN_ARCHES = ("bsd", "soft-lrp", "ni-lrp")
+
+
+def _arch_of(key: str):
+    from repro.core import Architecture
+    return {"bsd": Architecture.BSD,
+            "soft-lrp": Architecture.SOFT_LRP,
+            "ni-lrp": Architecture.NI_LRP}[key]
+
+
+def run_golden_workload(arch_key: str,
+                        tracer: Optional[Tracer] = None) -> Tracer:
+    """Run the canonical workload on *arch_key*'s architecture with
+    tracing enabled; returns the (unbounded) tracer."""
+    from repro.core import Architecture, build_host
+    from repro.engine.process import Sleep, Syscall
+    from repro.engine.simulator import Simulator
+    from repro.net.link import Network
+
+    if tracer is None:
+        tracer = Tracer(capacity=None)
+    sim = Simulator(seed=GOLDEN_SEED, tracer=tracer)
+    network = Network(sim)
+    server = build_host(sim, network, "10.0.0.1", _arch_of(arch_key))
+    client = build_host(sim, network, "10.0.0.2", Architecture.BSD)
+
+    def udp_sink():
+        sock = yield Syscall("socket", stype="udp")
+        yield Syscall("bind", sock=sock, port=9000)
+        for _ in range(N_DGRAMS):
+            yield Syscall("recvfrom", sock=sock)
+
+    def tcp_server():
+        sock = yield Syscall("socket", stype="tcp")
+        yield Syscall("bind", sock=sock, port=80)
+        yield Syscall("listen", sock=sock, backlog=4)
+        child = yield Syscall("accept", sock=sock)
+        total = 0
+        while total < TCP_BYTES:
+            n = yield Syscall("recv", sock=child)
+            if n == 0:
+                break
+            total += n
+        yield Syscall("close", sock=child)
+        yield Syscall("close", sock=sock)
+
+    def udp_client():
+        yield Sleep(5_000.0)
+        sock = yield Syscall("socket", stype="udp")
+        for _ in range(N_DGRAMS):
+            yield Syscall("sendto", sock=sock, nbytes=64,
+                          addr="10.0.0.1", port=9000)
+            yield Sleep(2_000.0)
+
+    def tcp_client():
+        yield Sleep(10_000.0)
+        sock = yield Syscall("socket", stype="tcp")
+        rc = yield Syscall("connect", sock=sock, addr="10.0.0.1",
+                           port=80)
+        if rc == 0:
+            yield Syscall("send", sock=sock, nbytes=TCP_BYTES)
+        yield Syscall("close", sock=sock)
+
+    server.spawn("udp-sink", udp_sink())
+    server.spawn("tcp-server", tcp_server())
+    client.spawn("udp-client", udp_client())
+    client.spawn("tcp-client", tcp_client())
+    sim.run_until(GOLDEN_DURATION)
+    return tracer
+
+
+def golden_digest(arch_key: str) -> Dict:
+    """The full golden-file payload for one architecture."""
+    tracer = run_golden_workload(arch_key)
+    digest = tracer.digest()
+    return {"workload": WORKLOAD, "arch": arch_key,
+            "seed": GOLDEN_SEED, **digest}
+
+
+def golden_dir(base: Optional[str] = None) -> str:
+    """Default location of the checked-in golden digests.
+
+    Anchored to the repository checkout containing this module when it
+    looks like one (so the CLI works from any directory); falls back to
+    CWD-relative ``tests/golden`` otherwise.
+    """
+    if base is not None:
+        return base
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    candidate = os.path.join(repo_root, "tests", "golden")
+    if os.path.isdir(candidate):
+        return candidate
+    return os.path.join("tests", "golden")
+
+
+def golden_path(arch_key: str, base: Optional[str] = None) -> str:
+    return os.path.join(golden_dir(base), f"{arch_key}.json")
+
+
+def load_golden(arch_key: str, base: Optional[str] = None) -> Dict:
+    with open(golden_path(arch_key, base)) as f:
+        return json.load(f)
+
+
+def write_golden(arch_key: str, base: Optional[str] = None) -> Dict:
+    payload = golden_digest(arch_key)
+    path = golden_path(arch_key, base)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return payload
+
+
+def check_golden(arch_key: str, base: Optional[str] = None) -> Dict:
+    """Compare a fresh run against the checked-in digest.  Returns
+    ``{"ok": bool, "expected": ..., "actual": ...}``."""
+    expected = load_golden(arch_key, base)
+    actual = golden_digest(arch_key)
+    keys = ("workload", "n", "counts", "order_hash")
+    ok = all(expected.get(k) == actual.get(k) for k in keys)
+    return {"ok": ok, "expected": expected, "actual": actual}

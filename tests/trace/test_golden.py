@@ -1,0 +1,77 @@
+"""Golden-trace harness tests: canonical workloads are reproducible
+and match the digests checked into tests/golden/."""
+
+import os
+
+import pytest
+
+from repro.trace import golden
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "..", "golden")
+
+
+@pytest.mark.parametrize("arch", golden.GOLDEN_ARCHES)
+def test_golden_workload_is_reproducible(arch):
+    d1 = golden.golden_digest(arch)
+    d2 = golden.golden_digest(arch)
+    assert d1 == d2
+
+
+@pytest.mark.parametrize("arch", golden.GOLDEN_ARCHES)
+def test_golden_matches_checked_in_digest(arch):
+    result = golden.check_golden(arch, GOLDEN_DIR)
+    exp, act = result["expected"], result["actual"]
+    assert result["ok"], (
+        f"golden digest drift for {arch}: "
+        f"expected n={exp.get('n')} hash={exp.get('order_hash')}, "
+        f"actual n={act.get('n')} hash={act.get('order_hash')}; "
+        f"if the change is intentional, run "
+        f"`PYTHONPATH=src python -m repro.trace regen`")
+
+
+@pytest.mark.parametrize("arch", golden.GOLDEN_ARCHES)
+def test_golden_workload_covers_every_category(arch):
+    """The canonical workload must exercise the whole instrumented
+    surface: engine, interrupts, scheduler, packets, syscalls, TCP."""
+    digest = golden.golden_digest(arch)
+    counts = digest["counts"]
+    for etype in ("event_fired", "interrupt_raised",
+                  "interrupt_dispatched", "context_switch",
+                  "pkt_enqueue", "pkt_deliver", "syscall_enter",
+                  "syscall_exit", "tcp_state_change"):
+        assert counts.get(etype, 0) > 0, (
+            f"{arch}: no {etype} records in golden workload")
+    # syscalls are balanced: every enter has a matching exit
+    assert counts["syscall_enter"] == counts["syscall_exit"]
+
+
+def test_architectures_have_distinct_traces():
+    """The three stacks process the same workload differently; their
+    traces must not collapse to the same digest."""
+    hashes = {arch: golden.golden_digest(arch)["order_hash"]
+              for arch in golden.GOLDEN_ARCHES}
+    assert len(set(hashes.values())) == len(hashes)
+
+
+def test_write_and_check_golden_round_trip(tmp_path):
+    arch = "bsd"
+    payload = golden.write_golden(arch, str(tmp_path))
+    assert os.path.exists(golden.golden_path(arch, str(tmp_path)))
+    assert payload["workload"] == golden.WORKLOAD
+    result = golden.check_golden(arch, str(tmp_path))
+    assert result["ok"]
+
+
+def test_check_golden_detects_drift(tmp_path):
+    arch = "bsd"
+    golden.write_golden(arch, str(tmp_path))
+    # simulate drift: corrupt the stored hash
+    import json
+    path = golden.golden_path(arch, str(tmp_path))
+    with open(path) as f:
+        payload = json.load(f)
+    payload["order_hash"] = "0" * 64
+    with open(path, "w") as f:
+        json.dump(payload, f)
+    result = golden.check_golden(arch, str(tmp_path))
+    assert not result["ok"]
