@@ -13,18 +13,23 @@ import pytest
 
 from repro.core import Architecture
 from repro.experiments import ablations
+from repro.runner import SweepRunner
 
 WINDOW = 300_000.0
+
+RUNNER = SweepRunner.from_env("REPRO_BENCH")
 
 
 def test_early_demux_livelocks_on_corrupt_flood(once):
     def run():
-        return {arch: ablations.run_corrupt_flood_point(
-                    arch, 16_000, window_usec=WINDOW)
-                for arch in (Architecture.BSD,
-                             Architecture.EARLY_DEMUX,
-                             Architecture.SOFT_LRP,
-                             Architecture.NI_LRP)}
+        archs = (Architecture.BSD, Architecture.EARLY_DEMUX,
+                 Architecture.SOFT_LRP, Architecture.NI_LRP)
+        points = RUNNER.map(
+            ablations.run_corrupt_flood_point,
+            [dict(arch=arch, rate_pps=16_000, window_usec=WINDOW)
+             for arch in archs],
+            label="bench:ablations")
+        return dict(zip(archs, points))
 
     shares = once(run)
     once.extra_info["victim_cpu_share"] = {
@@ -44,11 +49,13 @@ def test_laziness_required_not_just_demux(once):
     processing: eager interrupt-priority processing starves the victim
     completely, lazy processing at the receiver's priority does not."""
     def run():
-        ed = ablations.run_corrupt_flood_point(
-            Architecture.EARLY_DEMUX, 18_000, window_usec=WINDOW)
-        soft = ablations.run_corrupt_flood_point(
-            Architecture.SOFT_LRP, 18_000, window_usec=WINDOW)
-        return ed, soft
+        return RUNNER.map(
+            ablations.run_corrupt_flood_point,
+            [dict(arch=Architecture.EARLY_DEMUX, rate_pps=18_000,
+                  window_usec=WINDOW),
+             dict(arch=Architecture.SOFT_LRP, rate_pps=18_000,
+                  window_usec=WINDOW)],
+            label="bench:ablations")
 
     ed, soft = once(run)
     assert ed["victim_cpu_share"] < 0.05
@@ -57,10 +64,13 @@ def test_laziness_required_not_just_demux(once):
 
 def test_accounting_policy_latency_effect(once):
     def run():
-        return {
-            policy: ablations.run_accounting_point(
-                policy, 6_000, duration_usec=800_000.0)
-            for policy in ("interrupted", "system")}
+        policies = ("interrupted", "system")
+        points = RUNNER.map(
+            ablations.run_accounting_point,
+            [dict(policy=policy, background_pps=6_000,
+                  duration_usec=800_000.0) for policy in policies],
+            label="bench:ablations")
+        return dict(zip(policies, points))
 
     rtts = once(run)
     once.extra_info["rtt_by_policy"] = {k: round(v, 1)
@@ -72,10 +82,13 @@ def test_accounting_policy_latency_effect(once):
 
 def test_quiet_baseline_insensitive_to_policy(once):
     def run():
-        return {
-            policy: ablations.run_accounting_point(
-                policy, 0, duration_usec=500_000.0)
-            for policy in ("interrupted", "system")}
+        policies = ("interrupted", "system")
+        points = RUNNER.map(
+            ablations.run_accounting_point,
+            [dict(policy=policy, background_pps=0,
+                  duration_usec=500_000.0) for policy in policies],
+            label="bench:ablations")
+        return dict(zip(policies, points))
 
     rtts = once(run)
     assert rtts["interrupted"] == pytest.approx(rtts["system"],

@@ -10,6 +10,9 @@ from repro.engine import Compute, Simulator, Sleep, Syscall
 from repro.net.link import Network
 from repro.workloads import RawUdpInjector
 from repro.experiments import sensitivity
+from repro.runner import SweepRunner
+
+RUNNER = SweepRunner.from_env("REPRO_BENCH")
 
 
 # ----------------------------------------------------------------------
@@ -45,8 +48,11 @@ def test_app_modes_equivalent_at_moderate_load(once):
     """Both Section 3.4 APP designs serve HTTP comparably (the paper
     treats the kernel process as a stand-in for per-process threads)."""
     def run():
-        return {"kernel-process": http_rate("kernel-process"),
-                "per-process": http_rate("per-process")}
+        modes = ("kernel-process", "per-process")
+        rates = RUNNER.map(http_rate,
+                           [dict(app_mode=mode) for mode in modes],
+                           label="bench:extensions")
+        return dict(zip(modes, rates))
 
     rates = once(run)
     once.extra_info["http_per_sec"] = {k: round(v, 1)
@@ -105,8 +111,12 @@ def test_lrp_gateway_protects_local_application(once):
     """Under a heavy transit flood the LRP gateway's local application
     retains more CPU than under the BSD gateway (Section 3.5)."""
     def run():
-        return {arch: gateway_app_share(arch, 14_000)
-                for arch in (Architecture.BSD, Architecture.SOFT_LRP)}
+        archs = (Architecture.BSD, Architecture.SOFT_LRP)
+        shares = RUNNER.map(
+            gateway_app_share,
+            [dict(arch=arch, flood_pps=14_000) for arch in archs],
+            label="bench:extensions")
+        return dict(zip(archs, shares))
 
     shares = once(run)
     once.extra_info["app_share"] = {
@@ -125,7 +135,7 @@ def test_claims_survive_cost_perturbation(once):
     def run():
         return sensitivity.run_experiment(
             parameters=("soft_demux", "hw_intr"),
-            scales=(0.5, 1.0, 1.5))
+            scales=(0.5, 1.0, 1.5), runner=RUNNER)
 
     rows = once(run)
     for row in rows:

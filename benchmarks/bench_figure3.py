@@ -11,15 +11,21 @@ import pytest
 
 from repro.core import Architecture
 from repro.experiments import figure3
+from repro.runner import SweepRunner
 
 RATES = (2_000, 6_000, 8_000, 10_000, 12_000, 16_000, 20_000)
 WINDOW = 400_000.0
 
+RUNNER = SweepRunner.from_env("REPRO_BENCH")
+
 
 def sweep(arch):
-    return [figure3.run_point(arch, rate, warmup_usec=200_000.0,
-                              window_usec=WINDOW)["delivered_pps"]
-            for rate in RATES]
+    points = RUNNER.map(
+        figure3.run_point,
+        [dict(arch=arch, rate_pps=rate, warmup_usec=200_000.0,
+              window_usec=WINDOW) for rate in RATES],
+        label="bench:figure3")
+    return [p["delivered_pps"] for p in points]
 
 
 def test_bsd_rises_then_collapses(once):
@@ -88,9 +94,9 @@ def test_mlfrr_soft_exceeds_bsd(once):
         rates = (4_000, 6_000, 8_000, 9_000, 10_000, 11_000)
         return {
             "bsd": figure3.mlfrr(Architecture.BSD, rates=rates,
-                                 window_usec=WINDOW),
+                                 window_usec=WINDOW, runner=RUNNER),
             "soft": figure3.mlfrr(Architecture.SOFT_LRP, rates=rates,
-                                  window_usec=WINDOW),
+                                  window_usec=WINDOW, runner=RUNNER),
         }
 
     result = once(run)

@@ -12,14 +12,20 @@ import pytest
 
 from repro.core import Architecture
 from repro.experiments import figure4
+from repro.runner import SweepRunner
 
 RATES = (0, 4_000, 6_000, 10_000)
 DURATION = 800_000.0
 
+RUNNER = SweepRunner.from_env("REPRO_BENCH")
+
 
 def sweep(arch):
-    return [figure4.run_point(arch, rate, duration_usec=DURATION)
-            for rate in RATES]
+    return RUNNER.map(
+        figure4.run_point,
+        [dict(arch=arch, background_pps=rate, duration_usec=DURATION)
+         for rate in RATES],
+        label="bench:figure4")
 
 
 def test_bsd_latency_rises_sharply(once):
@@ -45,7 +51,8 @@ def test_ni_lrp_latency_barely_moves(once):
 
 
 def test_bsd_unmeasurable_at_extreme_rates(once):
-    point = once(figure4.run_point, Architecture.BSD, 16_000,
+    point = once(RUNNER.call, figure4.run_point,
+                 arch=Architecture.BSD, background_pps=16_000,
                  duration_usec=DURATION)
     # Few or no round trips complete (paper: "packet dropping at the
     # IP queue makes latency measurements impossible").
@@ -54,10 +61,13 @@ def test_bsd_unmeasurable_at_extreme_rates(once):
 
 def test_lrp_traffic_separation_no_losses(once):
     def run():
-        return [figure4.run_point(arch, 12_000,
-                                  duration_usec=DURATION)
-                for arch in (Architecture.SOFT_LRP,
-                             Architecture.NI_LRP)]
+        return RUNNER.map(
+            figure4.run_point,
+            [dict(arch=arch, background_pps=12_000,
+                  duration_usec=DURATION)
+             for arch in (Architecture.SOFT_LRP,
+                          Architecture.NI_LRP)],
+            label="bench:figure4")
 
     points = once(run)
     for point in points:

@@ -10,14 +10,17 @@ import pytest
 
 from repro.core import Architecture
 from repro.experiments import figure5
+from repro.runner import SweepRunner
 
 WARMUP = 300_000.0
 WINDOW = 500_000.0
 
+RUNNER = SweepRunner.from_env("REPRO_BENCH")
+
 
 def point(arch, rate):
-    return figure5.run_point(arch, rate, warmup_usec=WARMUP,
-                             window_usec=WINDOW)
+    return RUNNER.call(figure5.run_point, arch=arch, syn_pps=rate,
+                       warmup_usec=WARMUP, window_usec=WINDOW)
 
 
 def test_bsd_collapse(once):

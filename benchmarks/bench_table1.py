@@ -9,15 +9,23 @@ import pytest
 
 from repro.core import Architecture
 from repro.experiments import table1
+from repro.runner import SweepRunner
+
+RUNNER = SweepRunner.from_env("REPRO_BENCH")
 
 
 def test_latency_row(once):
     rows = {}
 
     def run():
-        for system in table1.SYSTEMS:
+        cells = RUNNER.map(
+            table1.measure_latency,
+            [dict(system=system, iterations=500)
+             for system in table1.SYSTEMS],
+            label="bench:table1")
+        for system, cell in zip(table1.SYSTEMS, cells):
             name = system if isinstance(system, str) else system.value
-            rows[name] = table1.measure_latency(system, iterations=500)
+            rows[name] = cell
         return rows
 
     result = once(run)
@@ -33,16 +41,16 @@ def test_latency_row(once):
 
 def test_udp_throughput_row(once):
     def run():
-        return {
-            "4.4BSD": table1.measure_udp_throughput(
-                Architecture.BSD, total_mb=2.0),
-            "SOFT-LRP": table1.measure_udp_throughput(
-                Architecture.SOFT_LRP, total_mb=2.0),
-            "NI-LRP": table1.measure_udp_throughput(
-                Architecture.NI_LRP, total_mb=2.0),
-            "SunOS-Fore": table1.measure_udp_throughput(
-                "SunOS-Fore", total_mb=2.0),
-        }
+        systems = {"4.4BSD": Architecture.BSD,
+                   "SOFT-LRP": Architecture.SOFT_LRP,
+                   "NI-LRP": Architecture.NI_LRP,
+                   "SunOS-Fore": "SunOS-Fore"}
+        cells = RUNNER.map(
+            table1.measure_udp_throughput,
+            [dict(system=system, total_mb=2.0)
+             for system in systems.values()],
+            label="bench:table1")
+        return dict(zip(systems, cells))
 
     result = once(run)
     once.extra_info["udp_mbps"] = {k: round(v, 1)
@@ -54,14 +62,15 @@ def test_udp_throughput_row(once):
 
 def test_tcp_throughput_row(once):
     def run():
-        return {
-            "4.4BSD": table1.measure_tcp_throughput(
-                Architecture.BSD, total_mb=4.0),
-            "SOFT-LRP": table1.measure_tcp_throughput(
-                Architecture.SOFT_LRP, total_mb=4.0),
-            "NI-LRP": table1.measure_tcp_throughput(
-                Architecture.NI_LRP, total_mb=4.0),
-        }
+        systems = {"4.4BSD": Architecture.BSD,
+                   "SOFT-LRP": Architecture.SOFT_LRP,
+                   "NI-LRP": Architecture.NI_LRP}
+        cells = RUNNER.map(
+            table1.measure_tcp_throughput,
+            [dict(system=system, total_mb=4.0)
+             for system in systems.values()],
+            label="bench:table1")
+        return dict(zip(systems, cells))
 
     result = once(run)
     once.extra_info["tcp_mbps"] = {k: round(v, 1)

@@ -9,15 +9,23 @@ import pytest
 
 from repro.core import Architecture
 from repro.experiments import table2
+from repro.runner import SweepRunner
 
 SCALE = 0.03  # worker CPU = 345 ms; keeps each run ~seconds
+
+RUNNER = SweepRunner.from_env("REPRO_BENCH")
 
 
 def test_fast_row(once):
     def run():
-        return {arch: table2.run_point(arch, "Fast", scale=SCALE)
-                for arch in (Architecture.BSD, Architecture.SOFT_LRP,
-                             Architecture.NI_LRP)}
+        archs = (Architecture.BSD, Architecture.SOFT_LRP,
+                 Architecture.NI_LRP)
+        points = RUNNER.map(
+            table2.run_point,
+            [dict(arch=arch, speed="Fast", scale=SCALE)
+             for arch in archs],
+            label="bench:table2")
+        return dict(zip(archs, points))
 
     rows = once(run)
     once.extra_info["fast"] = {
@@ -38,14 +46,18 @@ def test_fast_row(once):
 
 def test_share_gap_across_speeds(once):
     def run():
+        grid = [(speed, name, arch)
+                for speed in ("Fast", "Medium", "Slow")
+                for name, arch in (("bsd", Architecture.BSD),
+                                   ("ni", Architecture.NI_LRP))]
+        points = RUNNER.map(
+            table2.run_point,
+            [dict(arch=arch, speed=speed, scale=SCALE)
+             for speed, _, arch in grid],
+            label="bench:table2")
         out = {}
-        for speed in ("Fast", "Medium", "Slow"):
-            out[speed] = {
-                "bsd": table2.run_point(Architecture.BSD, speed,
-                                        scale=SCALE),
-                "ni": table2.run_point(Architecture.NI_LRP, speed,
-                                       scale=SCALE),
-            }
+        for (speed, name, _), point in zip(grid, points):
+            out.setdefault(speed, {})[name] = point
         return out
 
     rows = once(run)
@@ -60,9 +72,12 @@ def test_share_gap_across_speeds(once):
 
 def test_interrupt_bill_explains_the_gap(once):
     def run():
-        return (table2.run_point(Architecture.BSD, "Fast", scale=SCALE),
-                table2.run_point(Architecture.NI_LRP, "Fast",
-                                 scale=SCALE))
+        return RUNNER.map(
+            table2.run_point,
+            [dict(arch=Architecture.BSD, speed="Fast", scale=SCALE),
+             dict(arch=Architecture.NI_LRP, speed="Fast",
+                  scale=SCALE)],
+            label="bench:table2")
 
     bsd, ni = once(run)
     once.extra_info["intr_billed_s"] = {

@@ -11,6 +11,18 @@ Run with::
 
     pytest benchmarks/ --benchmark-only
 
+All sweeps execute through a shared :class:`repro.runner.SweepRunner`
+(module-level ``RUNNER`` in each bench file), configured by
+environment variables::
+
+    REPRO_BENCH_WORKERS=4          # fan points across 4 processes
+    REPRO_BENCH_CACHE=/path/to/dir # memoize points on disk
+    REPRO_BENCH_PROGRESS=1         # stream per-point progress
+
+Serial (default) and accelerated runs produce identical measurements;
+note that with workers > 0 the pytest-benchmark wall time measures the
+*parallel* sweep, and with a warm cache it measures cache lookups.
+
 Full-scale experiment runs (the numbers recorded in EXPERIMENTS.md)
 use ``python -m repro.experiments <name>`` instead.
 """

@@ -20,12 +20,13 @@ The paper argues (Section 3) that *both* key techniques are necessary:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.process import Compute, Syscall
 from repro.core import Architecture
 from repro.apps import pingpong_client, pingpong_server, spinner, \
     udp_blast_sink
+from repro.runner import SweepRunner
 from repro.stats.metrics import LatencyRecorder
 from repro.stats.report import format_series, format_table
 from repro.workloads import RawUdpInjector
@@ -90,11 +91,17 @@ def run_corrupt_flood_point(arch: Architecture, rate_pps: float,
 def run_corrupt_flood(rates: Sequence[float] = (0, 4000, 8000, 12000,
                                                 16000, 20000),
                       systems: Sequence[Architecture] = ALL_SYSTEMS,
+                      runner: Optional[SweepRunner] = None,
                       **kwargs) -> Dict:
+    runner = runner or SweepRunner()
+    points = runner.map(
+        run_corrupt_flood_point,
+        [dict(arch=arch, rate_pps=rate, **kwargs)
+         for arch in systems for rate in rates],
+        label="ablations/demux")
     series = {}
-    for arch in systems:
-        pts = [run_corrupt_flood_point(arch, rate, **kwargs)
-               for rate in rates]
+    for i, arch in enumerate(systems):
+        pts = points[i * len(rates):(i + 1) * len(rates)]
         series[arch.value] = [(p["rate_pps"],
                                round(p["victim_cpu_share"], 3))
                               for p in pts]
@@ -135,12 +142,19 @@ def run_accounting_point(policy: str, background_pps: float,
 def run_accounting(rates: Sequence[float] = (0, 2000, 4000, 6000),
                    policies: Sequence[str] = ("interrupted", "receiver",
                                               "system"),
+                   runner: Optional[SweepRunner] = None,
                    **kwargs) -> Dict:
+    runner = runner or SweepRunner()
+    points = runner.map(
+        run_accounting_point,
+        [dict(policy=policy, background_pps=rate, **kwargs)
+         for policy in policies for rate in rates],
+        label="ablations/accounting")
     series = {}
-    for policy in policies:
+    for i, policy in enumerate(policies):
+        pts = points[i * len(rates):(i + 1) * len(rates)]
         series[f"BSD/{policy}"] = [
-            (rate, round(run_accounting_point(policy, rate, **kwargs), 1))
-            for rate in rates]
+            (rate, round(rtt, 1)) for rate, rtt in zip(rates, pts)]
     return {"series": series}
 
 
@@ -156,15 +170,18 @@ def report(corrupt: Dict, accounting: Dict) -> str:
     return "\n".join(out)
 
 
-def main(fast: bool = False) -> str:
+def main(fast: bool = False,
+         runner: Optional[SweepRunner] = None) -> str:
     if fast:
         corrupt = run_corrupt_flood(rates=(0, 8000, 16000),
-                                    window_usec=400_000.0)
+                                    window_usec=400_000.0,
+                                    runner=runner)
         accounting = run_accounting(rates=(0, 4000, 6000),
-                                    duration_usec=900_000.0)
+                                    duration_usec=900_000.0,
+                                    runner=runner)
     else:
-        corrupt = run_corrupt_flood()
-        accounting = run_accounting()
+        corrupt = run_corrupt_flood(runner=runner)
+        accounting = run_accounting(runner=runner)
     text = report(corrupt, accounting)
     print(text)
     return text

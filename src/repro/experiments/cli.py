@@ -1,16 +1,29 @@
 """Command-line entry point: ``python -m repro.experiments <name>``.
 
 Runs one (or all) of the paper's experiments and prints the same
-rows/series the paper reports.  ``--fast`` shrinks sweep sizes and
+rows/series the paper reports.  ``list`` enumerates the experiments
+with one-line descriptions.  ``--fast`` shrinks sweep sizes and
 measurement windows for quick checks; the full runs are what
 EXPERIMENTS.md records.
+
+Sweeps execute through :class:`repro.runner.SweepRunner`:
+``--parallel N`` fans independent points across N worker processes,
+``--cache`` memoizes completed points on disk (content-addressed; see
+docs/RUNNING.md for the invalidation rules), and ``--results-json``
+writes a machine-readable record of the run — per-point parameters,
+results, wall-clock and cache disposition — alongside the printed
+tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
+from repro import __version__
+from repro.runner import ResultCache, SweepRunner, default_cache_dir
 from repro.trace import Tracer, set_default_tracer
 from repro.experiments import (
     ablations,
@@ -22,33 +35,98 @@ from repro.experiments import (
     table2,
 )
 
-EXPERIMENTS = {
-    "table1": table1.main,
-    "figure3": figure3.main,
-    "figure4": figure4.main,
-    "table2": table2.main,
-    "figure5": figure5.main,
-    "ablations": ablations.main,
-    "sensitivity": sensitivity.main,
+EXPERIMENT_MODULES = {
+    "table1": table1,
+    "figure3": figure3,
+    "figure4": figure4,
+    "table2": table2,
+    "figure5": figure5,
+    "ablations": ablations,
+    "sensitivity": sensitivity,
 }
+
+EXPERIMENTS = {name: module.main
+               for name, module in EXPERIMENT_MODULES.items()}
+
+
+def describe(name: str) -> str:
+    """One-line description: the experiment module's docstring head."""
+    doc = EXPERIMENT_MODULES[name].__doc__ or ""
+    first = doc.strip().splitlines()[0].rstrip(".") if doc.strip() else ""
+    return first
+
+
+def _experiment_listing() -> str:
+    width = max(len(name) for name in EXPERIMENTS)
+    lines = [f"  {name.ljust(width)}  {describe(name)}"
+             for name in sorted(EXPERIMENTS)]
+    return "\n".join(lines)
+
+
+def list_experiments(stream=None) -> None:
+    stream = stream if stream is not None else sys.stdout
+    print("available experiments:", file=stream)
+    print(_experiment_listing(), file=stream)
+    print("\nrun one with: python -m repro.experiments <name> "
+          "[--fast] [--parallel N] [--cache]", file=stream)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lrp-experiments",
+        description="Reproduce the LRP paper's tables and figures.",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=("experiments:\n" + _experiment_listing() + "\n\n"
+                "special names:\n"
+                "  all     run every experiment\n"
+                "  list    print the experiment names and exit\n\n"
+                "see docs/RUNNING.md for the full tour"))
+    parser.add_argument("experiment", metavar="EXPERIMENT",
+                        help="an experiment name, 'all', or 'list'")
+    parser.add_argument("--fast", action="store_true",
+                        help="smaller sweeps / shorter windows")
+    parser.add_argument("--parallel", metavar="N", type=int, default=0,
+                        help="fan sweep points across N worker "
+                             "processes (default: serial)")
+    parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="memoize completed sweep points on disk "
+                             "so re-runs are instant (default: off)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro-lrp)")
+    parser.add_argument("--results-json", metavar="OUT.JSON",
+                        default=None,
+                        help="write a machine-readable record of the "
+                             "run (per-point params, results, "
+                             "wall-clock, cache hits) to this file")
+    parser.add_argument("--trace", metavar="OUT.JSONL", default=None,
+                        help="stream an event trace of every simulated "
+                             "run to this JSONL file (see "
+                             "docs/TRACING.md); forces a serial, "
+                             "uncached sweep")
+    return parser
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="lrp-experiments",
-        description="Reproduce the LRP paper's tables and figures.")
-    parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["all"],
-                        help="which experiment to run")
-    parser.add_argument("--fast", action="store_true",
-                        help="smaller sweeps / shorter windows")
-    parser.add_argument("--trace", metavar="OUT.JSONL", default=None,
-                        help="stream an event trace of every simulated "
-                             "run to this JSONL file (see docs/TRACING.md)")
+    parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        list_experiments()
+        return 0
+    if args.experiment != "all" and args.experiment not in EXPERIMENTS:
+        parser.error(
+            f"unknown experiment {args.experiment!r}\n\n"
+            "available experiments:\n" + _experiment_listing() + "\n\n"
+            "(or 'all'; 'python -m repro.experiments list' shows "
+            "this too)")
 
     tracer = None
     if args.trace is not None:
+        if args.parallel > 1 or args.cache:
+            print("note: --trace forces a serial, uncached sweep so "
+                  "the trace observes every event", file=sys.stderr)
         tracer = Tracer()
         try:
             tracer.open_sink(args.trace)
@@ -56,18 +134,60 @@ def main(argv=None) -> int:
             parser.error(f"cannot open trace file: {exc}")
         set_default_tracer(tracer)
 
+    cache = None
+    if args.cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    runner = SweepRunner(workers=args.parallel, cache=cache,
+                         progress=True)
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
+    started_unix = time.time()
+    started = time.monotonic()
+    experiment_log = {}
     try:
         for name in names:
             print(f"\n##### {name} #####")
-            EXPERIMENTS[name](fast=args.fast)
+            exp_started = time.monotonic()
+            text = EXPERIMENTS[name](fast=args.fast, runner=runner)
+            experiment_log[name] = {
+                "wall_clock_sec": round(
+                    time.monotonic() - exp_started, 3),
+                "report": text,
+            }
     finally:
         if tracer is not None:
             set_default_tracer(None)
             tracer.close()
             print(f"\ntrace written to {args.trace}")
+        if args.results_json is not None:
+            _write_results(args, names, runner, experiment_log,
+                           started_unix,
+                           time.monotonic() - started)
     return 0
+
+
+def _write_results(args, names, runner: SweepRunner, experiment_log,
+                   started_unix: float, elapsed_sec: float) -> None:
+    payload = {
+        "version": __version__,
+        "invocation": {
+            "experiment": args.experiment,
+            "fast": args.fast,
+            "parallel": args.parallel,
+            "cache": args.cache,
+            "trace": args.trace is not None,
+        },
+        "started_unix": started_unix,
+        "wall_clock_sec": round(elapsed_sec, 3),
+        "experiments": experiment_log,
+        "sweep": runner.summary(),
+        "points": runner.points_log,
+    }
+    with open(args.results_json, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    print(f"results written to {args.results_json}", file=sys.stderr)
 
 
 if __name__ == "__main__":

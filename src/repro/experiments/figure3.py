@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.process import Syscall
 from repro.core import Architecture
+from repro.runner import SweepRunner
 from repro.stats.report import format_series, format_table
 from repro.workloads import RawUdpInjector
 from repro.experiments.common import (
@@ -93,12 +94,20 @@ def run_point(arch: Architecture, rate_pps: float,
 def mlfrr(arch: Architecture,
           rates: Sequence[float] = DEFAULT_RATES,
           loss_tolerance: float = 0.005,
+          runner: Optional[SweepRunner] = None,
           **kwargs) -> float:
     """Maximum Loss Free Receive Rate: the highest offered rate whose
-    loss fraction stays within *loss_tolerance*."""
+    loss fraction stays within *loss_tolerance*.
+
+    The probe is inherently sequential (it stops at the first lossy
+    rate), so points run one at a time through ``runner.call`` — still
+    memoized when the runner has a cache.
+    """
+    runner = runner or SweepRunner()
     best = 0.0
     for rate in rates:
-        point = run_point(arch, rate, congestion=False, **kwargs)
+        point = runner.call(run_point, arch=arch, rate_pps=rate,
+                            congestion=False, **kwargs)
         if point["delivered_pps"] >= rate * (1.0 - loss_tolerance):
             best = max(best, point["delivered_pps"])
         else:
@@ -109,20 +118,27 @@ def mlfrr(arch: Architecture,
 def run_experiment(rates: Sequence[float] = DEFAULT_RATES,
                    systems: Sequence[Architecture] = SYSTEMS,
                    window_usec: float = 1_000_000.0,
-                   compute_mlfrr: bool = True) -> Dict:
+                   compute_mlfrr: bool = True,
+                   runner: Optional[SweepRunner] = None) -> Dict:
     """The full Figure 3 sweep; returns series plus MLFRR table."""
+    runner = runner or SweepRunner()
+    points = runner.map(
+        run_point,
+        [dict(arch=arch, rate_pps=rate, window_usec=window_usec)
+         for arch in systems for rate in rates],
+        label="figure3")
     series: Dict[str, List[Tuple[float, float]]] = {}
     drops: Dict[str, List[Dict]] = {}
-    for arch in systems:
-        points = [run_point(arch, rate, window_usec=window_usec)
-                  for rate in rates]
+    for i, arch in enumerate(systems):
+        arch_points = points[i * len(rates):(i + 1) * len(rates)]
         series[arch.value] = [(p["offered_pps"], p["delivered_pps"])
-                              for p in points]
-        drops[arch.value] = points
+                              for p in arch_points]
+        drops[arch.value] = arch_points
     result = {"series": series, "drops": drops}
     if compute_mlfrr:
         result["mlfrr"] = {
-            arch.value: mlfrr(arch, window_usec=window_usec)
+            arch.value: mlfrr(arch, window_usec=window_usec,
+                              runner=runner)
             for arch in (Architecture.BSD, Architecture.SOFT_LRP)}
     return result
 
@@ -153,11 +169,13 @@ def report(result: Dict) -> str:
     return "\n".join(out)
 
 
-def main(fast: bool = False) -> str:
+def main(fast: bool = False,
+         runner: Optional[SweepRunner] = None) -> str:
     rates = DEFAULT_RATES[1::2] if fast else DEFAULT_RATES
     window = 400_000.0 if fast else 1_000_000.0
     text = report(run_experiment(rates=rates, window_usec=window,
-                                 compute_mlfrr=not fast))
+                                 compute_mlfrr=not fast,
+                                 runner=runner))
     print(text)
     return text
 

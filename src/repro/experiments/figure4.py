@@ -19,9 +19,10 @@ queue makes latency unmeasurable beyond ~15k pkts/s.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import Architecture
+from repro.runner import SweepRunner
 from repro.apps import pingpong_client, pingpong_server, spinner, \
     udp_blast_sink
 from repro.stats.metrics import LatencyRecorder
@@ -96,12 +97,19 @@ def _pingpong_losses(server) -> int:
 
 def run_experiment(rates: Sequence[float] = DEFAULT_RATES,
                    systems: Sequence[Architecture] = MAIN_SYSTEMS,
-                   duration_usec: float = 2_000_000.0) -> Dict:
+                   duration_usec: float = 2_000_000.0,
+                   runner: Optional[SweepRunner] = None) -> Dict:
+    runner = runner or SweepRunner()
+    points = runner.map(
+        run_point,
+        [dict(arch=arch, background_pps=rate,
+              duration_usec=duration_usec)
+         for arch in systems for rate in rates],
+        label="figure4")
     series: Dict[str, List[Tuple[float, float]]] = {}
     losses: Dict[str, List[Tuple[float, int]]] = {}
-    for arch in systems:
-        pts = [run_point(arch, rate, duration_usec=duration_usec)
-               for rate in rates]
+    for i, arch in enumerate(systems):
+        pts = points[i * len(rates):(i + 1) * len(rates)]
         series[arch.value] = [(p["background_pps"],
                                round(p["rtt_mean_usec"], 1))
                               for p in pts]
@@ -119,10 +127,12 @@ def report(result: Dict) -> str:
     return "\n".join(out)
 
 
-def main(fast: bool = False) -> str:
+def main(fast: bool = False,
+         runner: Optional[SweepRunner] = None) -> str:
     rates = (0, 2000, 6000, 10000, 14000) if fast else DEFAULT_RATES
     duration = 1_000_000.0 if fast else 2_000_000.0
-    text = report(run_experiment(rates=rates, duration_usec=duration))
+    text = report(run_experiment(rates=rates, duration_usec=duration,
+                                 runner=runner))
     print(text)
     return text
 

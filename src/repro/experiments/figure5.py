@@ -21,10 +21,11 @@ traffic flows on separate channels and "does not interfere".
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import Architecture
 from repro.apps import dummy_server, http_client, httpd_master
+from repro.runner import SweepRunner
 from repro.stats.report import format_series
 from repro.workloads import RawSynInjector
 from repro.experiments.common import (
@@ -95,12 +96,18 @@ def _dummy_channel_drops(server) -> int:
 
 def run_experiment(rates: Sequence[float] = DEFAULT_RATES,
                    systems: Sequence[Architecture] = SYSTEMS,
-                   window_usec: float = 1_000_000.0) -> Dict:
+                   window_usec: float = 1_000_000.0,
+                   runner: Optional[SweepRunner] = None) -> Dict:
+    runner = runner or SweepRunner()
+    points = runner.map(
+        run_point,
+        [dict(arch=arch, syn_pps=rate, window_usec=window_usec)
+         for arch in systems for rate in rates],
+        label="figure5")
     series: Dict[str, List[Tuple[float, float]]] = {}
     details: Dict[str, List[Dict]] = {}
-    for arch in systems:
-        pts = [run_point(arch, rate, window_usec=window_usec)
-               for rate in rates]
+    for i, arch in enumerate(systems):
+        pts = points[i * len(rates):(i + 1) * len(rates)]
         series[arch.value] = [(p["syn_pps"], round(p["http_per_sec"], 1))
                               for p in pts]
         details[arch.value] = pts
@@ -124,11 +131,13 @@ def report(result: Dict) -> str:
     return "\n".join(out)
 
 
-def main(fast: bool = False) -> str:
+def main(fast: bool = False,
+         runner: Optional[SweepRunner] = None) -> str:
     rates = (0, 4000, 8000, 12000, 16000, 20000) if fast \
         else DEFAULT_RATES
     window = 600_000.0 if fast else 1_000_000.0
-    text = report(run_experiment(rates=rates, window_usec=window))
+    text = report(run_experiment(rates=rates, window_usec=window,
+                                 runner=runner))
     print(text)
     return text
 

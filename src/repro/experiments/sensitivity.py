@@ -17,11 +17,12 @@ it does not.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.engine.process import Syscall
 from repro.core import Architecture
 from repro.core.costs import DEFAULT_COSTS
+from repro.runner import SweepRunner
 from repro.stats.report import format_table
 from repro.workloads import RawUdpInjector
 from repro.experiments.common import CLIENT_A_ADDR, SERVER_ADDR, Testbed
@@ -79,18 +80,24 @@ def check_claims(costs) -> Dict[str, bool]:
 
 
 def run_experiment(parameters: Sequence[str] = PARAMETERS,
-                   scales: Sequence[float] = SCALES) -> List[Dict]:
-    rows: List[Dict] = []
+                   scales: Sequence[float] = SCALES,
+                   runner: Optional[SweepRunner] = None) -> List[Dict]:
+    runner = runner or SweepRunner()
+    grid: List[tuple] = []
     for name in parameters:
         for scale in scales:
-            if scale == 1.0 and rows:
+            if scale == 1.0 and grid:
                 continue  # baseline measured once
-            base = getattr(DEFAULT_COSTS, name)
-            costs = DEFAULT_COSTS.with_overrides(**{name: base * scale})
-            claims = check_claims(costs)
-            rows.append({"parameter": name if scale != 1.0 else
-                         "(baseline)", "scale": scale, **claims})
-    return rows
+            grid.append((name, scale))
+    claims_list = runner.map(
+        check_claims,
+        [dict(costs=DEFAULT_COSTS.with_overrides(
+            **{name: getattr(DEFAULT_COSTS, name) * scale}))
+         for name, scale in grid],
+        label="sensitivity")
+    return [{"parameter": name if scale != 1.0 else "(baseline)",
+             "scale": scale, **claims}
+            for (name, scale), claims in zip(grid, claims_list)]
 
 
 def report(rows: List[Dict]) -> str:
@@ -107,13 +114,15 @@ def report(rows: List[Dict]) -> str:
                             "ordering holds"), table))
 
 
-def main(fast: bool = False) -> str:
+def main(fast: bool = False,
+         runner: Optional[SweepRunner] = None) -> str:
     if fast:
         rows = run_experiment(parameters=("soft_demux",
                                           "sw_intr_dispatch"),
-                              scales=(0.5, 1.0, 1.5))
+                              scales=(0.5, 1.0, 1.5),
+                              runner=runner)
     else:
-        rows = run_experiment()
+        rows = run_experiment(runner=runner)
     text = report(rows)
     print(text)
     return text

@@ -28,6 +28,7 @@ from repro.apps import (
     udp_sliding_window_source,
 )
 from repro.engine.process import Syscall
+from repro.runner import SweepRunner
 from repro.stats.metrics import LatencyRecorder
 from repro.stats.report import format_table
 from repro.experiments.common import (
@@ -146,14 +147,26 @@ def measure_tcp_throughput(system, total_mb: float = 24.0,
 def run_experiment(systems: Sequence = SYSTEMS,
                    latency_iters: int = 2000,
                    udp_mb: float = 8.0,
-                   tcp_mb: float = 24.0) -> Dict[str, Dict[str, float]]:
-    rows: Dict[str, Dict[str, float]] = {}
+                   tcp_mb: float = 24.0,
+                   runner: Optional[SweepRunner] = None
+                   ) -> Dict[str, Dict[str, float]]:
+    runner = runner or SweepRunner()
+    specs = []
     for system in systems:
+        specs.append((measure_latency,
+                      dict(system=system, iterations=latency_iters)))
+        specs.append((measure_udp_throughput,
+                      dict(system=system, total_mb=udp_mb)))
+        specs.append((measure_tcp_throughput,
+                      dict(system=system, total_mb=tcp_mb)))
+    cells = runner.map_points(specs, label="table1")
+    rows: Dict[str, Dict[str, float]] = {}
+    for i, system in enumerate(systems):
         name = system if isinstance(system, str) else system.value
         rows[name] = {
-            "rtt_usec": measure_latency(system, latency_iters),
-            "udp_mbps": measure_udp_throughput(system, udp_mb),
-            "tcp_mbps": measure_tcp_throughput(system, tcp_mb),
+            "rtt_usec": cells[3 * i],
+            "udp_mbps": cells[3 * i + 1],
+            "tcp_mbps": cells[3 * i + 2],
         }
     return rows
 
@@ -166,11 +179,13 @@ def report(rows: Dict[str, Dict[str, float]]) -> str:
                             "TCP (Mbps)"), table))
 
 
-def main(fast: bool = False) -> str:
+def main(fast: bool = False,
+         runner: Optional[SweepRunner] = None) -> str:
     if fast:
-        rows = run_experiment(latency_iters=400, udp_mb=2.0, tcp_mb=4.0)
+        rows = run_experiment(latency_iters=400, udp_mb=2.0,
+                              tcp_mb=4.0, runner=runner)
     else:
-        rows = run_experiment()
+        rows = run_experiment(runner=runner)
     text = report(rows)
     print(text)
     return text

@@ -27,6 +27,7 @@ from typing import Dict, Generator, List, Optional, Sequence
 from repro.engine.process import Sleep, Syscall
 from repro.core import Architecture
 from repro.apps import rpc_server, rpc_single_call_client
+from repro.runner import SweepRunner
 from repro.stats.report import format_table
 from repro.experiments.common import (
     CLIENT_A_ADDR,
@@ -126,12 +127,17 @@ def run_point(arch: Architecture, speed: str,
 
 def run_experiment(systems: Sequence[Architecture] = MAIN_SYSTEMS,
                    speeds: Sequence[str] = ("Fast", "Medium", "Slow"),
-                   scale: float = 0.2) -> Dict:
-    rows = []
-    for speed in speeds:
-        for arch in systems:
-            point = run_point(arch, speed, scale=scale)
-            rows.append({"speed": speed, "system": arch.value, **point})
+                   scale: float = 0.2,
+                   runner: Optional[SweepRunner] = None) -> Dict:
+    runner = runner or SweepRunner()
+    grid = [(speed, arch) for speed in speeds for arch in systems]
+    points = runner.map(
+        run_point,
+        [dict(arch=arch, speed=speed, scale=scale)
+         for speed, arch in grid],
+        label="table2")
+    rows = [{"speed": speed, "system": arch.value, **point}
+            for (speed, arch), point in zip(grid, points)]
     return {"rows": rows, "scale": scale}
 
 
@@ -149,9 +155,10 @@ def report(result: Dict) -> str:
          "worker CPU share"), table)
 
 
-def main(fast: bool = False) -> str:
+def main(fast: bool = False,
+         runner: Optional[SweepRunner] = None) -> str:
     scale = 0.05 if fast else 0.2
-    text = report(run_experiment(scale=scale))
+    text = report(run_experiment(scale=scale, runner=runner))
     print(text)
     return text
 

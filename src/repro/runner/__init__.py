@@ -1,0 +1,47 @@
+"""Parallel, cached execution of experiment sweeps.
+
+The experiments in this reproduction (``figure3/4/5``, ``table1/2``,
+ablations, sensitivity) are grids of independent, seeded,
+deterministic simulation points.  This package is the shared
+subsystem that executes such grids fast and reproducibly:
+
+* :class:`~repro.runner.sweep.SweepRunner` — fans points out across
+  worker processes (``--parallel N``), returns results in submission
+  order, and streams progress/ETA to the terminal;
+* :class:`~repro.runner.cache.ResultCache` — content-addressed on-disk
+  memoization keyed by a digest of the cost model, the point
+  function's source, its full parameter binding (architecture, sweep
+  parameters, seed) and the package version, so identical points are
+  never simulated twice (``--cache``) and any relevant change is an
+  automatic cache miss;
+* :class:`~repro.stats.timing.WallClock` (re-exported) — per-point
+  wall-clock accounting, so the speedup the runner delivers is itself
+  a measured result.
+
+Serial, parallel and warm-cache executions of the same sweep are
+byte-identical; ``tests/runner/`` and the CI sweep-parity job enforce
+this.  See docs/RUNNING.md for the user-facing tour.
+"""
+
+from repro.runner.cache import (
+    CACHE_DIR_ENV,
+    ResultCache,
+    canonicalize,
+    default_cache_dir,
+    point_digest,
+)
+from repro.runner.progress import ProgressReporter, format_eta
+from repro.runner.sweep import SweepRunner
+from repro.stats.timing import WallClock
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "ProgressReporter",
+    "ResultCache",
+    "SweepRunner",
+    "WallClock",
+    "canonicalize",
+    "default_cache_dir",
+    "format_eta",
+    "point_digest",
+]

@@ -1,0 +1,73 @@
+"""Terminal progress streaming for sweep runs.
+
+One line per completed point — points done/total, cache disposition,
+per-point wall-clock, and an ETA extrapolated from the mean cost of
+the points actually *computed* so far (cache hits are near-free and
+would otherwise make the estimate wildly optimistic).  Output goes to
+stderr so it never contaminates the experiment tables on stdout or a
+piped ``--results-json`` consumer.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+
+def format_eta(seconds: float) -> str:
+    """``87`` -> ``"1m27s"``; sub-minute values keep one decimal."""
+    if seconds < 60.0:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    hours, minutes = divmod(minutes, 60)
+    if hours:
+        return f"{hours}h{minutes:02d}m"
+    return f"{minutes}m{secs:02d}s"
+
+
+class ProgressReporter:
+    """Streams per-point progress lines for one sweep."""
+
+    def __init__(self, total: int, label: str = "sweep",
+                 workers: int = 0, enabled: bool = True,
+                 stream: Optional[TextIO] = None) -> None:
+        self.total = total
+        self.label = label
+        self.workers = max(1, workers)
+        self.enabled = enabled
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0
+        self.cached = 0
+        self.computed_sec = 0.0
+        self.started = time.monotonic()
+
+    def point_done(self, point_label: str, wall_sec: float,
+                   cached: bool) -> None:
+        self.done += 1
+        if cached:
+            self.cached += 1
+        else:
+            self.computed_sec += wall_sec
+        if not self.enabled:
+            return
+        remaining = self.total - self.done
+        computed = self.done - self.cached
+        if computed and remaining:
+            per_point = self.computed_sec / computed
+            eta = f" ETA {format_eta(per_point * remaining / self.workers)}"
+        else:
+            eta = ""
+        disposition = "cached" if cached else f"{wall_sec:.2f}s"
+        print(f"[{self.label} {self.done}/{self.total}] "
+              f"{point_label} ({disposition}){eta}",
+              file=self.stream, flush=True)
+
+    def close(self) -> None:
+        if not self.enabled:
+            return
+        elapsed = time.monotonic() - self.started
+        print(f"[{self.label}] {self.total} points in "
+              f"{format_eta(elapsed)} ({self.cached} cached, "
+              f"{self.workers} worker{'s' if self.workers != 1 else ''})",
+              file=self.stream, flush=True)

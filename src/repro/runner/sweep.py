@@ -1,0 +1,259 @@
+"""The shared sweep-execution subsystem.
+
+Every experiment in the reproduction is a *sweep*: a grid of
+independent ``(architecture, parameters, seed)`` points, each a pure,
+deterministic simulation.  :class:`SweepRunner` executes such grids
+
+* **in parallel** — points fan out across worker processes via
+  :mod:`concurrent.futures` (each point is a whole simulation, so
+  process granularity is right and no state is shared);
+* **memoized** — completed points are stored in a content-addressed
+  on-disk :class:`~repro.runner.cache.ResultCache`, so re-runs and
+  partial sweeps are nearly instant;
+* **observably** — per-point progress and ETA stream to stderr
+  (:mod:`repro.runner.progress`), and per-point wall-clock is recorded
+  in a :class:`~repro.stats.timing.WallClock` so the runner's own
+  speedup is measurable.
+
+Results are returned in *submission order* regardless of completion
+order, and a sweep executed with 0, 1 or N workers — cold or warm
+cache — produces byte-identical results (asserted by
+``tests/runner/test_parity.py`` and by CI).
+
+Two interplays are handled conservatively:
+
+* **Tracing**: when a default tracer is active (``--trace``), the
+  runner falls back to serial in-process execution and bypasses the
+  cache — a trace must observe every simulated event, which worker
+  processes and memoized results would hide.
+* **Point functions** must be module-level (picklable by reference)
+  and return JSON-serializable data; every ``run_point`` in
+  ``repro.experiments`` satisfies both.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO, Tuple
+
+from repro.runner.cache import ResultCache, canonicalize, point_digest
+from repro.runner.progress import ProgressReporter
+from repro.stats.timing import WallClock
+from repro.trace import get_default_tracer
+
+#: A sweep point: ``(function, kwargs)`` or ``(function, kwargs, label)``.
+PointSpec = Tuple
+
+
+def _resolve(dotted_module: str, qualname: str) -> Callable:
+    obj: Any = importlib.import_module(dotted_module)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def _invoke(dotted_module: str, qualname: str,
+            kwargs: Dict[str, Any]) -> Tuple[Any, float]:
+    """Worker-side execution of one point; returns (result, wall_sec).
+
+    The function is resolved by name rather than pickled by value so
+    points survive the round trip to a worker process unchanged.
+    """
+    fn = _resolve(dotted_module, qualname)
+    started = time.perf_counter()
+    result = fn(**kwargs)
+    return result, time.perf_counter() - started
+
+
+def _default_label(fn: Callable, kwargs: Dict[str, Any]) -> str:
+    parts = []
+    for key, value in kwargs.items():
+        value = canonicalize(value)
+        if isinstance(value, dict):
+            value = value.get("value", "...")
+        parts.append(f"{key}={value}")
+    return f"{fn.__name__}({', '.join(parts)})"
+
+
+class SweepRunner:
+    """Executes sweeps of independent simulation points.
+
+    :param workers: worker *processes*; 0 or 1 means serial in-process
+        execution (the default, byte-identical to the historical
+        per-experiment loops).
+    :param cache: a :class:`ResultCache`, or ``None`` to disable
+        memoization.
+    :param progress: stream per-point progress lines to stderr.
+    :param label: name shown in progress lines and the results log.
+    """
+
+    def __init__(self, workers: int = 0,
+                 cache: Optional[ResultCache] = None,
+                 progress: bool = False,
+                 label: str = "sweep",
+                 stream: Optional[TextIO] = None) -> None:
+        self.workers = max(0, int(workers))
+        self.cache = cache
+        self.progress = progress
+        self.label = label
+        self.stream = stream
+        self.wallclock = WallClock()
+        #: One entry per executed point, in submission order; the CLI
+        #: serializes this into ``--results-json`` output.
+        self.points_log: List[Dict[str, Any]] = []
+        self.notes: List[str] = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_env(cls, prefix: str = "REPRO_SWEEP",
+                 **overrides: Any) -> "SweepRunner":
+        """Build a runner from ``<prefix>_WORKERS`` / ``<prefix>_CACHE``
+        / ``<prefix>_PROGRESS`` environment variables (used by the
+        benchmark harness so ``pytest benchmarks/`` can be accelerated
+        without touching the benchmarks)."""
+        workers = int(os.environ.get(f"{prefix}_WORKERS", "0") or "0")
+        cache_dir = os.environ.get(f"{prefix}_CACHE", "")
+        cache = ResultCache(cache_dir) if cache_dir else None
+        progress = os.environ.get(f"{prefix}_PROGRESS", "") == "1"
+        options = dict(workers=workers, cache=cache, progress=progress)
+        options.update(overrides)
+        return cls(**options)
+
+    # ------------------------------------------------------------------
+    def call(self, fn: Callable, **kwargs: Any) -> Any:
+        """Execute a single point (cached, in-process)."""
+        return self.map_points([(fn, kwargs)], progress=False)[0]
+
+    def map(self, fn: Callable, kwargs_list: Sequence[Dict[str, Any]],
+            label: Optional[str] = None) -> List[Any]:
+        """Execute *fn* over a parameter grid; results in input order."""
+        return self.map_points([(fn, kwargs) for kwargs in kwargs_list],
+                               label=label)
+
+    def map_points(self, specs: Sequence[PointSpec],
+                   label: Optional[str] = None,
+                   progress: Optional[bool] = None) -> List[Any]:
+        """Execute heterogeneous points (possibly differing functions);
+        results in input order."""
+        specs = [self._normalize(spec) for spec in specs]
+        tracing = get_default_tracer() is not None
+        workers = self.workers if not tracing else 0
+        cache = self.cache if not tracing else None
+        if tracing and (self.workers > 1 or self.cache is not None):
+            note = ("tracer active: sweep forced serial with cache "
+                    "bypassed so the trace observes every event")
+            if note not in self.notes:
+                self.notes.append(note)
+
+        reporter = ProgressReporter(
+            total=len(specs),
+            label=label or self.label,
+            workers=workers,
+            enabled=self.progress if progress is None else progress,
+            stream=self.stream)
+
+        results: List[Any] = [None] * len(specs)
+        pending: List[int] = []
+        for index, (fn, kwargs, point_label) in enumerate(specs):
+            digest = point_digest(fn, kwargs)
+            if cache is not None:
+                hit, value = cache.get(digest)
+                if hit:
+                    results[index] = value
+                    self._log_point(fn, kwargs, point_label, digest,
+                                    cached=True, wall_sec=0.0,
+                                    result=value)
+                    reporter.point_done(point_label, 0.0, cached=True)
+                    continue
+            pending.append(index)
+
+        if len(pending) > 1 and workers > 1:
+            self._run_parallel(specs, pending, results, cache,
+                               min(workers, len(pending)), reporter)
+        else:
+            self._run_serial(specs, pending, results, cache, reporter)
+        reporter.close()
+        return results
+
+    # ------------------------------------------------------------------
+    def _normalize(self, spec: PointSpec) -> Tuple[Callable, Dict, str]:
+        if len(spec) == 3:
+            fn, kwargs, point_label = spec
+        else:
+            fn, kwargs = spec
+            point_label = None
+        return fn, dict(kwargs), point_label or _default_label(fn, kwargs)
+
+    def _run_serial(self, specs, pending, results, cache,
+                    reporter) -> None:
+        for index in pending:
+            fn, kwargs, point_label = specs[index]
+            started = time.perf_counter()
+            value = fn(**kwargs)
+            wall = time.perf_counter() - started
+            results[index] = value
+            self._finish_computed(specs[index], value, wall, cache,
+                                  reporter)
+
+    def _run_parallel(self, specs, pending, results, cache, workers,
+                      reporter) -> None:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {}
+            for index in pending:
+                fn, kwargs, _ = specs[index]
+                future = pool.submit(_invoke, fn.__module__,
+                                     fn.__qualname__, kwargs)
+                futures[future] = index
+            outstanding = set(futures)
+            while outstanding:
+                finished, outstanding = wait(outstanding,
+                                             return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = futures[future]
+                    value, wall = future.result()
+                    results[index] = value
+                    self._finish_computed(specs[index], value, wall,
+                                          cache, reporter)
+
+    def _finish_computed(self, spec, value, wall_sec, cache,
+                         reporter) -> None:
+        fn, kwargs, point_label = spec
+        digest = point_digest(fn, kwargs)
+        if cache is not None:
+            cache.put(digest, value, meta={
+                "fn": f"{fn.__module__}.{fn.__qualname__}",
+                "label": point_label,
+                "params": canonicalize(kwargs),
+            })
+        self._log_point(fn, kwargs, point_label, digest, cached=False,
+                        wall_sec=wall_sec, result=value)
+        reporter.point_done(point_label, wall_sec, cached=False)
+
+    def _log_point(self, fn, kwargs, point_label, digest, cached,
+                   wall_sec, result) -> None:
+        self.wallclock.record(point_label, wall_sec, cached=cached)
+        self.points_log.append({
+            "label": point_label,
+            "fn": f"{fn.__module__}.{fn.__qualname__}",
+            "digest": digest,
+            "params": canonicalize(kwargs),
+            "cached": cached,
+            "wall_clock_sec": round(wall_sec, 6),
+            "result": result,
+        })
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """Machine-readable run summary (embedded in results JSON)."""
+        out: Dict[str, Any] = {
+            "workers": self.workers,
+            "wallclock": self.wallclock.summary(),
+        }
+        out["cache"] = (self.cache.stats() if self.cache is not None
+                        else None)
+        if self.notes:
+            out["notes"] = list(self.notes)
+        return out

@@ -1,0 +1,90 @@
+"""The `python -m repro.experiments` front end: listing, validation,
+and the --results-json record."""
+
+import json
+import types
+
+import pytest
+
+from repro.experiments import cli
+
+
+def tiny_point(x, scale=2):
+    return {"x": x, "y": x * scale}
+
+
+def tiny_main(fast=False, runner=None):
+    runner.map(tiny_point, [dict(x=1), dict(x=2)], label="tiny")
+    return "tiny report"
+
+
+@pytest.fixture
+def tiny_experiment(monkeypatch):
+    stub = types.SimpleNamespace(__doc__="A tiny test experiment.",
+                                 main=tiny_main)
+    monkeypatch.setattr(cli, "EXPERIMENT_MODULES", {"tiny": stub})
+    monkeypatch.setattr(cli, "EXPERIMENTS", {"tiny": tiny_main})
+
+
+class TestList:
+    def test_list_names_every_experiment(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure3", "figure4", "figure5", "table1",
+                     "table2", "ablations", "sensitivity"):
+            assert name in out
+
+    def test_list_includes_descriptions(self, capsys):
+        cli.main(["list"])
+        out = capsys.readouterr().out
+        assert "UDP throughput versus offered load" in out
+
+    def test_help_enumerates_experiments(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli.main(["--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "figure3" in out
+        assert "--parallel" in out
+        assert "--cache" in out
+
+
+class TestValidation:
+    def test_unknown_experiment_suggests_list(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli.main(["nosuch"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment 'nosuch'" in err
+        assert "list" in err
+        assert "figure3" in err
+
+
+class TestResultsJson:
+    def test_results_json_records_points(self, tiny_experiment,
+                                         tmp_path, capsys):
+        out = tmp_path / "results.json"
+        assert cli.main(["tiny", "--results-json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["invocation"]["experiment"] == "tiny"
+        assert payload["experiments"]["tiny"]["report"] \
+            == "tiny report"
+        assert payload["sweep"]["wallclock"]["points"] == 2
+        assert payload["sweep"]["cache"] is None
+        results = [p["result"] for p in payload["points"]]
+        assert results == [{"x": 1, "y": 2}, {"x": 2, "y": 4}]
+
+    def test_cache_flag_populates_cache_dir(self, tiny_experiment,
+                                            tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        argv = ["tiny", "--cache", "--cache-dir", str(cache_dir),
+                "--results-json", str(tmp_path / "r.json")]
+        cli.main(argv)
+        cold = json.loads((tmp_path / "r.json").read_text())
+        assert cold["sweep"]["cache"]["misses"] == 2
+        cli.main(argv)
+        warm = json.loads((tmp_path / "r.json").read_text())
+        assert warm["sweep"]["cache"] == {"dir": str(cache_dir),
+                                         "hits": 2, "misses": 0}
+        assert [p["result"] for p in warm["points"]] \
+            == [p["result"] for p in cold["points"]]

@@ -1,0 +1,110 @@
+"""Serial / parallel / cached sweeps must be byte-identical.
+
+These are the acceptance tests for the sweep runner: the same
+scaled-down figure3 and table2 sweeps run three ways — serial,
+two worker processes, and a warm cache — and every per-point result
+must serialize to the same JSON.  A mismatch means either the
+simulation leaked nondeterminism across process boundaries or the
+cache returned a stale entry.
+"""
+
+import json
+
+from repro.core import Architecture
+from repro.experiments import figure3, table2
+from repro.runner import ResultCache, SweepRunner
+
+FIGURE3_SPECS = [
+    dict(arch=arch, rate_pps=rate, warmup_usec=50_000.0,
+         window_usec=100_000.0)
+    for arch in (Architecture.BSD, Architecture.SOFT_LRP)
+    for rate in (2_000, 8_000)
+]
+
+TABLE2_SPECS = [
+    dict(arch=arch, speed="Fast", scale=0.01)
+    for arch in (Architecture.BSD, Architecture.NI_LRP)
+]
+
+
+def _blob(points):
+    return json.dumps(points, sort_keys=True)
+
+
+class TestFigure3Parity:
+    def test_parallel_matches_serial(self):
+        serial = SweepRunner(workers=0).map(figure3.run_point,
+                                            FIGURE3_SPECS)
+        parallel = SweepRunner(workers=2).map(figure3.run_point,
+                                              FIGURE3_SPECS)
+        assert _blob(parallel) == _blob(serial)
+
+    def test_cached_rerun_matches_serial(self, tmp_path):
+        serial = SweepRunner(workers=0).map(figure3.run_point,
+                                            FIGURE3_SPECS)
+        cold_runner = SweepRunner(workers=0,
+                                  cache=ResultCache(tmp_path))
+        cold = cold_runner.map(figure3.run_point, FIGURE3_SPECS)
+        warm_runner = SweepRunner(workers=0,
+                                  cache=ResultCache(tmp_path))
+        warm = warm_runner.map(figure3.run_point, FIGURE3_SPECS)
+        assert _blob(cold) == _blob(serial)
+        assert _blob(warm) == _blob(serial)
+        assert cold_runner.cache.stats()["misses"] \
+            == len(FIGURE3_SPECS)
+        assert warm_runner.cache.stats() \
+            == {"dir": str(tmp_path), "hits": len(FIGURE3_SPECS),
+                "misses": 0}
+
+    def test_parallel_warm_cache_matches_serial(self, tmp_path):
+        serial = SweepRunner(workers=0).map(figure3.run_point,
+                                            FIGURE3_SPECS)
+        SweepRunner(workers=2, cache=ResultCache(tmp_path)) \
+            .map(figure3.run_point, FIGURE3_SPECS)
+        warm_runner = SweepRunner(workers=2,
+                                  cache=ResultCache(tmp_path))
+        warm = warm_runner.map(figure3.run_point, FIGURE3_SPECS)
+        assert _blob(warm) == _blob(serial)
+        assert warm_runner.cache.stats()["misses"] == 0
+
+
+class TestTable2Parity:
+    def test_three_ways_identical(self, tmp_path):
+        serial = SweepRunner(workers=0).map(table2.run_point,
+                                            TABLE2_SPECS)
+        parallel = SweepRunner(workers=2).map(table2.run_point,
+                                              TABLE2_SPECS)
+        cache = ResultCache(tmp_path)
+        SweepRunner(workers=0, cache=cache).map(table2.run_point,
+                                                TABLE2_SPECS)
+        warm_runner = SweepRunner(workers=0,
+                                  cache=ResultCache(tmp_path))
+        warm = warm_runner.map(table2.run_point, TABLE2_SPECS)
+        assert _blob(parallel) == _blob(serial)
+        assert _blob(warm) == _blob(serial)
+        assert warm_runner.cache.stats()["misses"] == 0
+
+
+class TestPointsLog:
+    def test_log_records_every_point(self, tmp_path):
+        runner = SweepRunner(workers=0, cache=ResultCache(tmp_path))
+        runner.map(table2.run_point, TABLE2_SPECS)
+        assert len(runner.points_log) == len(TABLE2_SPECS)
+        for entry, spec in zip(runner.points_log, TABLE2_SPECS):
+            assert entry["fn"].endswith("table2.run_point")
+            assert entry["params"]["speed"] == spec["speed"]
+            assert entry["cached"] is False
+            assert entry["wall_clock_sec"] >= 0.0
+            assert len(entry["digest"]) == 64
+        summary = runner.summary()
+        assert summary["wallclock"]["points"] == len(TABLE2_SPECS)
+        assert summary["cache"]["misses"] == len(TABLE2_SPECS)
+
+    def test_cached_points_marked(self, tmp_path):
+        SweepRunner(workers=0, cache=ResultCache(tmp_path)) \
+            .map(table2.run_point, TABLE2_SPECS)
+        warm = SweepRunner(workers=0, cache=ResultCache(tmp_path))
+        warm.map(table2.run_point, TABLE2_SPECS)
+        assert all(e["cached"] for e in warm.points_log)
+        assert warm.summary()["wallclock"]["cached_points"] \
+            == len(TABLE2_SPECS)
