@@ -43,7 +43,7 @@ def deliver_rate(arch: Architecture, rate_pps: float) -> dict:
     sim.run_until(warmup + window)
 
     stack = server.stack
-    channel_drops = sum(ch.total_discards
+    channel_drops = sum(ch.total_discards()
                         for ch in getattr(stack, "udp_channels", []))
     return {
         "delivered": delivered[0] * 1e6 / window,

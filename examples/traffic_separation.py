@@ -52,7 +52,7 @@ def measure(arch: Architecture, blast_pps: float) -> dict:
                    if s.local is not None and s.local.port == 7000)
     lost = pp_sock.rcv_dgrams.dropped_full if pp_sock.rcv_dgrams else 0
     if pp_sock.channel is not None:
-        lost += pp_sock.channel.total_discards
+        lost += pp_sock.channel.total_discards()
     return {
         "rtt": (sum(samples) / len(samples)) if samples
         else float("nan"),

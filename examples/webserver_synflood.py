@@ -54,7 +54,7 @@ def http_throughput(arch: Architecture, syn_pps: float) -> dict:
 
     dummy_sock = next(s for s in server.stack.sockets
                       if s.local is not None and s.local.port == 81)
-    shed = (dummy_sock.channel.total_discards
+    shed = (dummy_sock.channel.total_discards()
             if dummy_sock.channel is not None else 0)
     return {
         "http_per_sec": transfers * 1e6 / window,

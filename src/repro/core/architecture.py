@@ -65,8 +65,14 @@ def build_host(sim: Simulator, network: Network, addr,
                costs: CostModel = DEFAULT_COSTS,
                accounting_policy: str = "interrupted",
                name: Optional[str] = None,
+               fault_plane=None,
                **stack_kwargs) -> Host:
-    """Assemble a host running the given architecture's kernel."""
+    """Assemble a host running the given architecture's kernel.
+
+    Passing a :class:`~repro.faults.plane.FaultPlane` opts this host
+    into NIC/mbuf fault rules (link rules apply network-wide via
+    :meth:`FaultPlane.attach_network`).
+    """
     arch = Architecture(arch)
     kernel = Kernel(sim, costs=costs,
                     accounting_policy=accounting_policy,
@@ -85,4 +91,7 @@ def build_host(sim: Simulator, network: Network, addr,
         stack_cls = STACK_CLASSES[arch]
         stack = stack_cls(kernel, nic, addr, **stack_kwargs)
     kernel.nic = nic
-    return Host(kernel, nic, stack, addr)
+    host = Host(kernel, nic, stack, addr)
+    if fault_plane is not None:
+        fault_plane.attach_host(host)
+    return host

@@ -24,6 +24,7 @@ from repro.host.interrupts import HARDWARE, SOFTWARE, IntrTask
 from repro.net.ip import IPPROTO_ICMP, IPPROTO_TCP, IPPROTO_UDP, IpPacket
 from repro.net.packet import Frame
 from repro.core.stack_base import NetworkStack
+from repro.net.checksum import verify_packet
 from repro.sockets.socket import Socket
 from repro.trace.tracer import flow_of
 
@@ -114,14 +115,25 @@ class BsdStack(NetworkStack):
             self.forward_packet(packet)
             self.stats.incr("ip_forwarded")
             return
-        if packet.corrupt:
+        if packet.corrupt and not verify_packet(packet):
             yield Compute(self.costs.checksum_cost(packet.payload_len))
             self.stats.incr("drop_corrupt")
+            if self.sim.trace.enabled:
+                self.sim.trace.pkt_drop("ip", flow_of(packet),
+                                        reason="bad_checksum")
             return
         if packet.is_fragment:
             yield Compute(self.costs.ip_reassembly_per_frag)
             packet = self.reassemble(packet)
             if packet is None:
+                return
+            if packet.corrupt and not verify_packet(packet):
+                # A corrupted fragment poisons the whole datagram.
+                yield Compute(self.costs.checksum_cost(packet.payload_len))
+                self.stats.incr("drop_corrupt")
+                if self.sim.trace.enabled:
+                    self.sim.trace.pkt_drop("ip", flow_of(packet),
+                                            reason="bad_checksum")
                 return
         if packet.proto == IPPROTO_UDP:
             yield from self._udp_input_eager(packet)

@@ -22,6 +22,7 @@ from typing import Generator
 
 from repro.engine.process import Block, Compute, SimProcess
 from repro.host.interrupts import HARDWARE, SOFTWARE, IntrTask
+from repro.net.checksum import verify_packet
 from repro.net.ip import IPPROTO_ICMP, IPPROTO_TCP, IPPROTO_UDP, IpPacket
 from repro.net.packet import Frame
 from repro.core.lrp_base import LrpStackBase
@@ -85,14 +86,24 @@ class EarlyDemuxStack(LrpStackBase):
         lookup (the demux already identified the endpoint)."""
         yield Compute(self.costs.sw_intr_dispatch + self.costs.ip_input)
         self.stats.incr("ip_in")
-        if packet.corrupt:
+        if packet.corrupt and not verify_packet(packet):
             yield Compute(self.costs.checksum_cost(packet.payload_len))
             self.stats.incr("drop_corrupt")
+            if self.sim.trace.enabled:
+                self.sim.trace.pkt_drop("ip", flow_of(packet),
+                                        reason="bad_checksum")
             return
         if packet.is_fragment:
             yield Compute(self.costs.ip_reassembly_per_frag)
             packet = self.reassemble(packet)
             if packet is None:
+                return
+            if packet.corrupt and not verify_packet(packet):
+                yield Compute(self.costs.checksum_cost(packet.payload_len))
+                self.stats.incr("drop_corrupt")
+                if self.sim.trace.enabled:
+                    self.sim.trace.pkt_drop("ip", flow_of(packet),
+                                            reason="bad_checksum")
                 return
         if packet.proto == IPPROTO_UDP:
             sock = self._socket_for(packet)

@@ -26,12 +26,14 @@ from typing import Generator, List, Optional
 
 from repro.engine.process import Block, Compute, Sleep, SimProcess, WaitChannel
 from repro.net.addr import endpoint
+from repro.net.checksum import verify_packet
 from repro.net.ip import IPPROTO_TCP, IPPROTO_UDP, IpPacket
 from repro.nic.channels import NiChannel
 from repro.nic.demux import flow_key
 from repro.core.app_thread import AppProcessor, PerProcessAppProcessor
 from repro.core.stack_base import NetworkStack
 from repro.sockets.socket import Socket, SockType
+from repro.trace.tracer import flow_of
 
 #: Poll period of the idle-priority protocol thread, microseconds.
 IDLE_THREAD_POLL = 1_000.0
@@ -152,6 +154,17 @@ class LrpStackBase(NetworkStack):
             channel.processing_enabled = enabled
             self.stats.incr("backlog_feedback_flips")
 
+    def iter_channels(self):
+        """Every live NI channel: per-socket channels (deduplicated —
+        shared binds alias one channel) plus the fragment channel."""
+        seen = set()
+        for sock in self.sockets:
+            channel = sock.channel
+            if channel is not None and id(channel) not in seen:
+                seen.add(id(channel))
+                yield channel
+        yield self.demux_table.fragment_channel
+
     # ------------------------------------------------------------------
     # Channel notification routing
     # ------------------------------------------------------------------
@@ -238,9 +251,12 @@ class LrpStackBase(NetworkStack):
         Returns ``(dgram, source, stamp)`` or ``None``."""
         yield Compute(self.costs.ip_input)
         self.stats.incr("ip_in")
-        if packet.corrupt:
+        if packet.corrupt and not verify_packet(packet):
             yield Compute(self.costs.checksum_cost(packet.payload_len))
             self.stats.incr("drop_corrupt")
+            if self.sim.trace.enabled:
+                self.sim.trace.pkt_drop("ip", flow_of(packet),
+                                        reason="bad_checksum")
             return None
         if packet.is_fragment:
             yield Compute(self.costs.ip_reassembly_per_frag)
@@ -252,6 +268,14 @@ class LrpStackBase(NetworkStack):
             if whole is None:
                 return None
             packet = whole
+            if packet.corrupt and not verify_packet(packet):
+                # A corrupted fragment poisons the whole datagram.
+                yield Compute(self.costs.checksum_cost(packet.payload_len))
+                self.stats.incr("drop_corrupt")
+                if self.sim.trace.enabled:
+                    self.sim.trace.pkt_drop("ip", flow_of(packet),
+                                            reason="bad_checksum")
+                return None
         if self.redundant_pcb_lookup:
             # Figure 5 fairness control: pay the BSD lookup cost even
             # though demux already identified the socket.

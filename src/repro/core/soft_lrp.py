@@ -43,6 +43,13 @@ class SoftLrpStack(LrpStackBase):
                     trace.pkt_drop("demux", flow_of(frame.packet),
                                    reason="unmatched")
                 return
+            plane = self.fault_plane
+            if plane is not None and plane.nic_misclassify(frame.packet):
+                # Fault injection: the demux function picked the wrong
+                # bucket; the packet lands on the fragment channel and
+                # must be rescued by the reassembly drain path.
+                channel = self.demux_table.fragment_channel
+                self.stats.incr("demux_misclassified")
             was_empty = len(channel) == 0
             if channel.offer(frame.packet):
                 if trace.enabled:
@@ -56,7 +63,8 @@ class SoftLrpStack(LrpStackBase):
                 if trace.enabled:
                     trace.pkt_drop(
                         "ni_channel", flow_of(frame.packet),
-                        reason=("disabled"
+                        reason=("stalled" if channel.stalled
+                                else "disabled"
                                 if not channel.processing_enabled
                                 else "early_discard"))
 

@@ -30,6 +30,7 @@ from repro.host.kernel import Kernel
 from repro.engine.process import WaitChannel
 from repro.mem.pool import MbufPool
 from repro.net.addr import ANY_ADDR, Endpoint, IPAddr, endpoint
+from repro.net.checksum import stamp_packet, verify_packet
 from repro.net.ip import (
     IPPROTO_ICMP,
     IPPROTO_TCP,
@@ -108,6 +109,12 @@ class NetworkStack:
         self.stats = Counter()
         #: Latency bookkeeping hooks filled by experiments.
         self.sockets: List[Socket] = []
+        #: Attached :class:`~repro.faults.plane.FaultPlane`, if any.
+        self.fault_plane = None
+        # One-shot reassembly-expiry timer state (armed lazily so hosts
+        # that never see fragments schedule nothing — keeping golden
+        # traces of fragment-free runs untouched).
+        self._frag_expiry_armed = False
 
         kernel.stack = self
         if nic is not None:
@@ -417,6 +424,7 @@ class NetworkStack:
         caller (it differs by context); this just moves the packet."""
         packet = IpPacket(self.addr, dst, proto, transport, payload_len)
         packet.stamp = self.sim.now
+        stamp_packet(packet)
         self.stats.incr("ip_out")
         link_dst = self.link_dst_for(dst)
         if vci is None:
@@ -590,6 +598,17 @@ class NetworkStack:
     def tcp_input_gen(self, sock: Socket, packet: IpPacket) -> Generator:
         """Process one TCP segment for *sock* (any context)."""
         seg: TcpSegment = packet.transport
+        if packet.corrupt and not verify_packet(packet):
+            # TCP always verifies (checksumming is mandatory); the cost
+            # is charged only on the failing path so fault-free runs
+            # keep their historical timing.
+            yield Compute(self.costs.checksum_cost(seg.payload_len))
+            self.stats.incr("drop_corrupt")
+            trace = self.sim.trace
+            if trace.enabled:
+                trace.pkt_drop("tcp", flow_of(packet),
+                               reason="bad_checksum")
+            return
         if sock.listening:
             yield from self._listener_input_gen(sock, packet, seg)
             return
@@ -687,4 +706,30 @@ class NetworkStack:
         whole = self.reassembler.add(packet, self.sim.now)
         if whole is not None:
             self.demux_table.clear_fragment_hint(whole.src, whole.ident)
+        if self.reassembler.pending and not self._frag_expiry_armed:
+            self._frag_expiry_armed = True
+            self.sim.schedule(self.reassembler.ttl_usec,
+                              self._frag_expire)
         return whole
+
+    def _frag_expire(self) -> None:
+        """One-shot sweep reclaiming reassemblies past the TTL (and
+        their parked mbufs); re-arms while any remain pending."""
+        self._frag_expiry_armed = False
+        expired = self.reassembler.expire(self.sim.now)
+        if expired:
+            self.stats.incr("frag_expired", len(expired))
+            for key in expired:
+                self.demux_table._frag_hints.pop(key, None)
+        if self.reassembler.pending:
+            self._frag_expiry_armed = True
+            self.sim.schedule(self.reassembler.ttl_usec,
+                              self._frag_expire)
+
+    # ------------------------------------------------------------------
+    # Introspection used by fault injection and stats reports
+    # ------------------------------------------------------------------
+    def iter_channels(self) -> Iterable[NiChannel]:
+        """All NI channels this stack owns (none for the conventional
+        architectures; overridden by the LRP family)."""
+        return ()

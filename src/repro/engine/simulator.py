@@ -9,6 +9,7 @@ approximately 60 usecs").
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Any, Callable, Optional
 
@@ -49,6 +50,7 @@ class Simulator:
     def __init__(self, seed: int = 0,
                  tracer: Optional[Tracer] = None) -> None:
         self.now: float = 0.0
+        self.seed = seed
         self.rng = random.Random(seed)
         self._queue = EventQueue()
         self._running = False
@@ -59,6 +61,21 @@ class Simulator:
             tracer = NULL_TRACER
         self.trace = tracer
         tracer.attach(self)
+
+    # ------------------------------------------------------------------
+    # Randomness
+    # ------------------------------------------------------------------
+    def named_rng(self, name: str) -> random.Random:
+        """An independent RNG stream derived from the simulation seed.
+
+        Components that draw randomness out-of-band (congestion drops,
+        fault injection) use a named stream instead of :attr:`rng` so
+        their draws neither perturb nor depend on everyone else's —
+        the property that keeps serial, parallel, and warm-cache runs
+        byte-identical.
+        """
+        digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
 
     # ------------------------------------------------------------------
     # Scheduling

@@ -27,6 +27,7 @@ from repro.runner import ResultCache, SweepRunner, default_cache_dir
 from repro.trace import Tracer, set_default_tracer
 from repro.experiments import (
     ablations,
+    degradation,
     figure3,
     figure4,
     figure5,
@@ -43,6 +44,7 @@ EXPERIMENT_MODULES = {
     "figure5": figure5,
     "ablations": ablations,
     "sensitivity": sensitivity,
+    "degradation": degradation,
 }
 
 EXPERIMENTS = {name: module.main
@@ -100,6 +102,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a machine-readable record of the "
                              "run (per-point params, results, "
                              "wall-clock, cache hits) to this file")
+    parser.add_argument("--point-timeout", metavar="SEC", type=float,
+                        default=None,
+                        help="per-point wall-clock budget in seconds; "
+                             "a point exceeding it fails (and retries "
+                             "if --retries > 0) instead of wedging "
+                             "the sweep")
+    parser.add_argument("--retries", metavar="N", type=int, default=0,
+                        help="re-attempt a failed sweep point up to N "
+                             "times with exponential backoff before "
+                             "recording it as failed")
     parser.add_argument("--trace", metavar="OUT.JSONL", default=None,
                         help="stream an event trace of every simulated "
                              "run to this JSONL file (see "
@@ -138,7 +150,9 @@ def main(argv=None) -> int:
     if args.cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
     runner = SweepRunner(workers=args.parallel, cache=cache,
-                         progress=True)
+                         progress=True,
+                         point_timeout_sec=args.point_timeout,
+                         retries=args.retries)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
@@ -176,6 +190,8 @@ def _write_results(args, names, runner: SweepRunner, experiment_log,
             "fast": args.fast,
             "parallel": args.parallel,
             "cache": args.cache,
+            "point_timeout": args.point_timeout,
+            "retries": args.retries,
             "trace": args.trace is not None,
         },
         "started_unix": started_unix,

@@ -36,18 +36,29 @@ def delayed(usec: float, gen: Generator) -> Generator:
 class Testbed:
     """A simulator, a LAN, and helper construction methods."""
 
+    __test__ = False  # not a test class, despite the Test* name
+
     def __init__(self, seed: int = 1,
                  congestion_knee_pps: Optional[float] = None,
-                 costs=DEFAULT_COSTS):
+                 costs=DEFAULT_COSTS,
+                 fault_plan=None):
         self.sim = Simulator(seed=seed)
         self.network = Network(self.sim,
                                congestion_knee_pps=congestion_knee_pps)
         self.costs = costs
         self.hosts = []
+        #: Built when the testbed is given a FaultPlan: link rules act
+        #: on the shared network, NIC/mbuf rules on every added host.
+        self.fault_plane = None
+        if fault_plan is not None and not fault_plan.empty:
+            from repro.faults import FaultPlane
+            self.fault_plane = FaultPlane(self.sim, fault_plan)
+            self.fault_plane.attach_network(self.network)
 
     def add_host(self, addr, arch: Architecture, **kwargs):
         host = build_host(self.sim, self.network, addr, arch,
-                          costs=self.costs, **kwargs)
+                          costs=self.costs,
+                          fault_plane=self.fault_plane, **kwargs)
         self.hosts.append(host)
         return host
 

@@ -1,0 +1,351 @@
+"""Graceful degradation under injected faults and adversarial load.
+
+The paper argues that LRP's gains matter most when the network is
+hostile: under overload the conventional stack spends its CPU on
+traffic it will discard, while LRP sheds the same traffic before any
+protocol processing.  This experiment family stresses that claim with
+the deterministic fault plane (:mod:`repro.faults`): a well-behaved
+*victim* UDP flow shares a server with a bursty blaster while a
+seeded :class:`~repro.faults.plan.FaultPlan` injects link loss, bit
+corruption, NIC stalls and mbuf-pool exhaustion in a mid-run window.
+
+Swept over fault *intensity* in [0, 1] and architecture, each point
+reports the victim's goodput, its one-way latency tail, and how long
+after the fault window closes the victim returns to (90% of) its
+pre-window delivery rate.  A second sweep drives a checksummed TCP
+transfer through a lossy, corrupting window and verifies every
+architecture still delivers the complete byte stream — loss triggers
+retransmission/RTO backoff, corruption is caught by the Internet
+checksum and handled the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import Architecture
+from repro.engine.process import Sleep, Syscall
+from repro.faults import FaultPlan, FaultRule
+from repro.net.ip import IPPROTO_TCP
+from repro.runner import SweepRunner
+from repro.apps import udp_blast_sink
+from repro.stats.metrics import LatencyRecorder
+from repro.stats.report import (
+    channel_discard_summary,
+    format_series,
+    format_table,
+)
+from repro.workloads import BurstyUdpBlaster, RawUdpInjector
+from repro.experiments.common import (
+    CLIENT_A_ADDR,
+    CLIENT_C_ADDR,
+    MAIN_SYSTEMS,
+    SERVER_ADDR,
+    Testbed,
+)
+
+VICTIM_PORT = 7100
+BLAST_PORT = 9100
+
+#: The victim's offered rate: modest, easily served by every
+#: architecture when nothing is going wrong.
+VICTIM_PPS = 2000.0
+#: Blaster rate ramps from base to base+extra with fault intensity.
+BLAST_BASE_PPS = 4000.0
+BLAST_EXTRA_PPS = 16000.0
+
+DEFAULT_INTENSITIES = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def build_fault_plan(intensity: float, duration_usec: float,
+                     seed: int) -> FaultPlan:
+    """The canonical degradation plan, scaled by *intensity*.
+
+    A mid-run fault window [0.35, 0.55] of the duration combines link
+    loss and bit corruption with an mbuf squeeze; a shorter NIC stall
+    on the blast port sits inside it.  Intensity 0 is the empty plan
+    (byte-identical to a fault-free run).
+    """
+    if intensity <= 0:
+        return FaultPlan(seed=seed, rules=())
+    w0, w1 = 0.35 * duration_usec, 0.55 * duration_usec
+    return FaultPlan(seed=seed, rules=(
+        FaultRule("link", "drop", start_usec=w0, end_usec=w1,
+                  probability=0.25 * intensity, name="loss-burst"),
+        FaultRule("link", "corrupt", start_usec=w0, end_usec=w1,
+                  probability=0.15 * intensity, name="corrupt-burst"),
+        FaultRule("nic", "stall", start_usec=0.40 * duration_usec,
+                  end_usec=0.45 * duration_usec, dst_port=BLAST_PORT,
+                  name="blast-stall"),
+        FaultRule("mbuf", "exhaust", start_usec=w0, end_usec=w1,
+                  magnitude=int(4064 * intensity), name="mbuf-squeeze"),
+    ))
+
+
+def _num(value: float, digits: int = 3) -> Optional[float]:
+    """NaN-free numeric for JSON-strict results."""
+    if value != value:
+        return None
+    return round(value, digits)
+
+
+def _recovery_usec(stamps: Sequence[float], window_end: float,
+                   duration_usec: float, baseline_pps: float,
+                   bin_usec: float = 25_000.0) -> Optional[float]:
+    """Time from the fault window's close until the first *bin_usec*
+    bin whose delivery rate reaches 90% of the pre-window baseline;
+    ``None`` if the victim never recovers within the run."""
+    if baseline_pps <= 0:
+        return None
+    need = 0.9 * baseline_pps * bin_usec / 1e6
+    start = window_end
+    while start + bin_usec <= duration_usec:
+        end = start + bin_usec
+        count = sum(1 for t in stamps if start <= t < end)
+        if count >= need:
+            return end - window_end
+        start = end
+    return None
+
+
+def run_point(arch: Architecture, intensity: float,
+              duration_usec: float = 1_200_000.0,
+              warmup_usec: float = 200_000.0,
+              seed: int = 7) -> Dict:
+    """One degradation point: victim flow vs. blaster under the
+    canonical fault plan at *intensity*."""
+    arch = Architecture(arch)
+    plan = build_fault_plan(intensity, duration_usec, seed)
+    bed = Testbed(seed=seed, fault_plan=plan)
+    server = bed.add_host(SERVER_ADDR, arch)
+
+    victim = RawUdpInjector(bed.sim, bed.network, CLIENT_A_ADDR,
+                            SERVER_ADDR, VICTIM_PORT, src_port=22000)
+    blaster = BurstyUdpBlaster(bed.sim, bed.network, CLIENT_C_ADDR,
+                               SERVER_ADDR, BLAST_PORT)
+
+    recorder = LatencyRecorder()
+
+    def on_victim(stamp, dgram):
+        recorder.record(bed.sim.now - stamp, now=bed.sim.now)
+
+    server.spawn("victim-srv",
+                 udp_blast_sink(VICTIM_PORT, on_receive=on_victim))
+    server.spawn("blast-sink", udp_blast_sink(BLAST_PORT))
+
+    bed.sim.schedule(10_000.0, victim.start, VICTIM_PPS)
+    blast_pps = BLAST_BASE_PPS + intensity * BLAST_EXTRA_PPS
+    bed.sim.schedule(20_000.0, blaster.start, blast_pps)
+    bed.run(duration_usec)
+
+    # Goodput and latency tails over the measurement window.
+    window = duration_usec - warmup_usec
+    delivered = recorder.samples_since(warmup_usec)
+    goodput = len(delivered) * 1e6 / window
+
+    tail = LatencyRecorder()
+    for sample in delivered:
+        tail.record(sample)
+
+    # Recovery: delivery-rate baseline before the fault window,
+    # compared against post-window bins.
+    w0, w1 = 0.35 * duration_usec, 0.55 * duration_usec
+    baseline = sum(1 for t in recorder.stamps
+                   if warmup_usec <= t < w0) * 1e6 / (w0 - warmup_usec)
+    recovery = _recovery_usec(recorder.stamps, w1, duration_usec,
+                              baseline)
+
+    plane = bed.fault_plane
+    stack = server.stack
+    return {
+        "intensity": intensity,
+        "blast_pps": blast_pps,
+        "victim_goodput_pps": _num(goodput, 1),
+        "latency_p50_usec": _num(tail.percentile(50.0), 1),
+        "latency_p95_usec": _num(tail.percentile(95.0), 1),
+        "latency_p99_usec": _num(tail.percentile(99.0), 1),
+        "recovery_usec": recovery,
+        "injected_faults": plane.injected_total() if plane else 0,
+        "faults": plane.snapshot() if plane else {},
+        "channel_discards": channel_discard_summary(
+            stack.iter_channels()),
+        "mbuf_exhaustions": stack.mbufs.exhaustions,
+        "drop_corrupt": stack.stats.get("drop_corrupt"),
+    }
+
+
+# ----------------------------------------------------------------------
+# TCP delivery under loss + corruption
+# ----------------------------------------------------------------------
+def _tcp_receiver(port: int, expect: int, received: List[int]):
+    sock = yield Syscall("socket", stype="tcp")
+    yield Syscall("bind", sock=sock, port=port)
+    yield Syscall("listen", sock=sock, backlog=2)
+    conn = yield Syscall("accept", sock=sock)
+    got = 0
+    while got < expect:
+        n = yield Syscall("recv", sock=conn)
+        if n == 0:
+            break
+        got += n
+    received.append(got)
+    yield Syscall("close", sock=conn)
+
+
+def _tcp_sender(dst_addr, port: int, nbytes: int, chunk: int,
+                socks: List):
+    yield Sleep(10_000.0)
+    sock = yield Syscall("socket", stype="tcp")
+    rc = yield Syscall("connect", sock=sock, addr=dst_addr, port=port)
+    if rc != 0:
+        return
+    socks.append(sock)
+    sent = 0
+    while sent < nbytes:
+        n = min(chunk, nbytes - sent)
+        yield Syscall("send", sock=sock, nbytes=n)
+        sent += n
+    yield Syscall("close", sock=sock)
+
+
+def run_tcp_point(arch: Architecture, intensity: float,
+                  nbytes: int = 64_000, seed: int = 3) -> Dict:
+    """A checksummed TCP transfer through a lossy, corrupting window.
+
+    Loss forces retransmission and RTO backoff; corruption is caught
+    by checksum verification and recovers the same way.  The point of
+    the point: *every* architecture delivers the full byte stream.
+    """
+    arch = Architecture(arch)
+    port = 8200
+    window = (12_000.0, 400_000.0)
+    rules = ()
+    if intensity > 0:
+        rules = (
+            FaultRule("link", "drop", start_usec=window[0],
+                      end_usec=window[1], proto=IPPROTO_TCP,
+                      probability=0.2 * intensity, name="tcp-loss"),
+            FaultRule("link", "corrupt", start_usec=window[0],
+                      end_usec=window[1], proto=IPPROTO_TCP,
+                      probability=0.15 * intensity, name="tcp-corrupt"),
+        )
+    plan = FaultPlan(seed=seed, rules=rules)
+    bed = Testbed(seed=seed, fault_plan=plan)
+    server = bed.add_host(SERVER_ADDR, arch)
+    client = bed.add_host(CLIENT_A_ADDR, arch)
+
+    received: List[int] = []
+    socks: List = []
+    server.spawn("rx", _tcp_receiver(port, nbytes, received))
+    client.spawn("tx", _tcp_sender(SERVER_ADDR, port, nbytes,
+                                   chunk=4096, socks=socks))
+
+    limit = 30_000_000.0
+    while not received and bed.sim.now < limit:
+        bed.sim.run_until(bed.sim.now + 100_000.0)
+
+    max_backoff = 1
+    for sock in socks:
+        if sock.pcb is not None:
+            max_backoff = max(max_backoff, sock.pcb.max_backoff)
+
+    plane = bed.fault_plane
+    rexmt = (server.stack.stats.get("tcp_rexmt_timeouts")
+             + client.stack.stats.get("tcp_rexmt_timeouts"))
+    return {
+        "intensity": intensity,
+        "bytes_expected": nbytes,
+        "bytes_received": received[0] if received else 0,
+        "complete": bool(received) and received[0] == nbytes,
+        "elapsed_usec": _num(bed.sim.now, 1),
+        "tcp_rexmt_timeouts": rexmt,
+        "max_backoff": max_backoff,
+        "injected_faults": plane.injected_total() if plane else 0,
+        "faults": plane.snapshot() if plane else {},
+        "drop_corrupt": (server.stack.stats.get("drop_corrupt")
+                         + client.stack.stats.get("drop_corrupt")),
+    }
+
+
+# ----------------------------------------------------------------------
+def run_experiment(
+        intensities: Sequence[float] = DEFAULT_INTENSITIES,
+        systems: Sequence[Architecture] = MAIN_SYSTEMS,
+        duration_usec: float = 1_200_000.0,
+        tcp_intensities: Sequence[float] = (1.0,),
+        runner: Optional[SweepRunner] = None) -> Dict:
+    runner = runner or SweepRunner()
+    grid = [(arch, i) for arch in systems for i in intensities]
+    points = runner.map(
+        run_point,
+        [dict(arch=arch, intensity=i, duration_usec=duration_usec)
+         for arch, i in grid],
+        label="degradation")
+
+    tcp_grid = [(arch, i) for arch in systems for i in tcp_intensities]
+    tcp_points = runner.map(
+        run_tcp_point,
+        [dict(arch=arch, intensity=i) for arch, i in tcp_grid],
+        label="degradation-tcp")
+
+    goodput: Dict[str, List[Tuple[float, float]]] = {}
+    p99: Dict[str, List[Tuple[float, float]]] = {}
+    for j, arch in enumerate(systems):
+        pts = points[j * len(intensities):(j + 1) * len(intensities)]
+        goodput[arch.value] = [(p["intensity"],
+                                p["victim_goodput_pps"]) for p in pts]
+        p99[arch.value] = [(p["intensity"], p["latency_p99_usec"])
+                           for p in pts]
+    rows = [{"system": arch.value, **point}
+            for (arch, _), point in zip(grid, points)]
+    tcp_rows = [{"system": arch.value, **point}
+                for (arch, _), point in zip(tcp_grid, tcp_points)]
+    return {"goodput": goodput, "p99": p99, "rows": rows,
+            "tcp_rows": tcp_rows}
+
+
+def report(result: Dict) -> str:
+    out = [format_series(
+        "Degradation: victim goodput vs. fault intensity",
+        "intensity", "pps", result["goodput"])]
+    out.append("")
+    out.append(format_series(
+        "Degradation: victim one-way latency p99",
+        "intensity", "p99 us", result["p99"]))
+    out.append("\n== Recovery and fault accounting ==")
+    table = [(r["system"], r["intensity"],
+              r["victim_goodput_pps"],
+              "-" if r["recovery_usec"] is None
+              else f"{r['recovery_usec'] / 1000:.0f}",
+              r["injected_faults"], r["drop_corrupt"],
+              r["mbuf_exhaustions"])
+             for r in result["rows"]]
+    out.append(format_table(
+        ("system", "intensity", "goodput pps", "recovery ms",
+         "faults", "drop_corrupt", "mbuf_exh"), table))
+    out.append("\n== TCP delivery through loss + corruption ==")
+    tcp = [(r["system"], r["intensity"],
+            f"{r['bytes_received']}/{r['bytes_expected']}",
+            "yes" if r["complete"] else "NO",
+            r["tcp_rexmt_timeouts"], r["max_backoff"],
+            r["injected_faults"])
+           for r in result["tcp_rows"]]
+    out.append(format_table(
+        ("system", "intensity", "bytes", "complete", "rexmt",
+         "max backoff", "faults"), tcp))
+    return "\n".join(out)
+
+
+def main(fast: bool = False,
+         runner: Optional[SweepRunner] = None) -> str:
+    intensities = (0.0, 1.0) if fast else DEFAULT_INTENSITIES
+    duration = 800_000.0 if fast else 1_200_000.0
+    text = report(run_experiment(intensities=intensities,
+                                 duration_usec=duration,
+                                 runner=runner))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -71,10 +71,10 @@ def run_point(arch: Architecture, rate_pps: float,
     stack = server.stack
     stats = stack.stats
     channel_drops = sum(
-        ch.total_discards
+        ch.total_discards()
         for ch in getattr(stack, "udp_channels", []))
     if server.nic.__class__.__name__ == "ProgrammableNic":
-        channel_drops = sum(ch.total_discards for ch in
+        channel_drops = sum(ch.total_discards() for ch in
                             stack.udp_channels)
     return {
         "offered_pps": rate_pps,

@@ -90,7 +90,7 @@ def _pingpong_losses(server) -> int:
             dropped = (sock.rcv_dgrams.dropped_full
                        if sock.rcv_dgrams else 0)
             if sock.channel is not None:
-                dropped += sock.channel.total_discards
+                dropped += sock.channel.total_discards()
             return dropped
     return 0
 

@@ -90,7 +90,7 @@ def _dummy_channel_drops(server) -> int:
     for sock in server.stack.sockets:
         if sock.local is not None and sock.local.port == DUMMY_PORT \
                 and sock.channel is not None:
-            return sock.channel.total_discards
+            return sock.channel.total_discards()
     return 0
 
 

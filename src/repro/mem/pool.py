@@ -30,10 +30,14 @@ class MbufPool:
         self.peak_in_use = 0
         self.allocations = 0
         self.exhaustions = 0
+        #: Buffers held back by a fault-injection exhaustion window
+        #: (see repro.faults): they count against availability without
+        #: being allocated, shrinking the pool for its duration.
+        self.fault_reserved = 0
 
     @property
     def available(self) -> int:
-        return self.capacity - self.in_use
+        return max(0, self.capacity - self.in_use - self.fault_reserved)
 
     def allocate(self, nbytes: int, payload: Any = None) -> MbufChain:
         """Allocate a chain large enough for *nbytes* of packet."""

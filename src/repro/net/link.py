@@ -44,6 +44,13 @@ class Network:
         self.port_queue_frames = port_queue_frames
         self.congestion_knee_pps = congestion_knee_pps
         self.congestion_slope = congestion_slope
+        # Congestion drops draw from a named stream (not sim.rng) so
+        # enabling them — or injecting faults — never perturbs anyone
+        # else's randomness; see Simulator.named_rng.
+        self._congestion_rng = sim.named_rng("net.congestion")
+
+        #: Attached :class:`~repro.faults.plane.FaultPlane`, if any.
+        self.fault_plane = None
 
         #: ATM-style VCI assignments for NI-demultiplexed endpoints.
         self.signalling = SignallingDirectory()
@@ -61,6 +68,8 @@ class Network:
         self.drops_port_queue = 0
         self.drops_congestion = 0
         self.drops_no_route = 0
+        self.drops_fault = 0
+        self.dup_frames = 0
 
     # ------------------------------------------------------------------
     def attach(self, nic, addr: IPAddr) -> None:
@@ -98,12 +107,23 @@ class Network:
         done_tx = start + tx_time
         self._tx_busy_until[src_key] = done_tx
 
-        if self._congested():
+        if self.maybe_congestion_drop():
             self.drops_congestion += 1
             return False
 
+        # Fault plane: the wire may lose, corrupt, delay or duplicate
+        # the frame after successful transmission.
+        extra_delay = 0.0
+        dup_frame = None
+        if self.fault_plane is not None:
+            drop, extra_delay, dup_frame = \
+                self.fault_plane.link_disposition(frame)
+            if drop:
+                self.drops_fault += 1
+                return False
+
         # Receiving port: serialize again; bounded output queue.
-        rx_start = max(done_tx + self.propagation,
+        rx_start = max(done_tx + self.propagation + extra_delay,
                        self._rx_busy_until[dst_key])
         if self._rx_queued[dst_key] >= self.port_queue_frames:
             self.drops_port_queue += 1
@@ -113,6 +133,15 @@ class Network:
         self._rx_busy_until[dst_key] = rx_done
         self.sim.schedule_at(rx_done, self._deliver, dst_key, dst_nic,
                              frame)
+        if dup_frame is not None and \
+                self._rx_queued[dst_key] < self.port_queue_frames:
+            # The duplicate trails the original through the same port.
+            self._rx_queued[dst_key] += 1
+            dup_done = rx_done + tx_time
+            self._rx_busy_until[dst_key] = dup_done
+            self.dup_frames += 1
+            self.sim.schedule_at(dup_done, self._deliver, dst_key,
+                                 dst_nic, dup_frame)
         return True
 
     def _deliver(self, dst_key: int, dst_nic, frame: Frame) -> None:
@@ -121,7 +150,7 @@ class Network:
         dst_nic.receive_frame(frame)
 
     # ------------------------------------------------------------------
-    def _congested(self) -> bool:
+    def maybe_congestion_drop(self) -> bool:
         """Stochastic drop above the configured congestion knee."""
         if self.congestion_knee_pps is None:
             return False
@@ -139,4 +168,4 @@ class Network:
             return False
         excess = rate_pps - self.congestion_knee_pps
         p_drop = min(0.2, self.congestion_slope * excess)
-        return self.sim.rng.random() < p_drop
+        return self._congestion_rng.random() < p_drop

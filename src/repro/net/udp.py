@@ -17,7 +17,7 @@ class UdpDatagram:
     """
 
     __slots__ = ("src_port", "dst_port", "payload", "payload_len",
-                 "checksum_enabled")
+                 "checksum_enabled", "checksum")
 
     def __init__(self, src_port: int, dst_port: int,
                  payload: Optional[bytes] = None,
@@ -30,6 +30,8 @@ class UdpDatagram:
             payload_len = len(payload) if payload is not None else 0
         self.payload_len = payload_len
         self.checksum_enabled = checksum_enabled
+        #: RFC 1071 checksum stamped at ip_output (None = unstamped).
+        self.checksum: Optional[int] = None
 
     @property
     def total_len(self) -> int:

@@ -39,6 +39,12 @@ class BaseNic:
         self.tx_drops_ifq = 0
         self.rx_frames = 0
         self.rx_drops_ring = 0
+        #: Fault injection: attached plane and whole-adaptor stall
+        #: state (a wedged DMA engine; frames arriving meanwhile are
+        #: lost at the adaptor).
+        self.fault_plane = None
+        self.stalled = False
+        self.rx_drops_stall = 0
 
     # ------------------------------------------------------------------
     # Transmit side

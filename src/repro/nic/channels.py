@@ -29,6 +29,7 @@ class NiChannel:
     __slots__ = ("name", "depth", "queue", "owner_socket",
                  "interrupts_requested", "processing_enabled",
                  "enqueued", "discarded_full", "discarded_disabled",
+                 "discarded_stalled", "stalled",
                  "wait_channel", "kind", "members")
 
     def __init__(self, name: str, depth: int = DEFAULT_CHANNEL_DEPTH,
@@ -53,6 +54,12 @@ class NiChannel:
         self.enqueued = 0
         self.discarded_full = 0
         self.discarded_disabled = 0
+        #: Discards while the channel was stalled by fault injection —
+        #: kept separate from capacity/feedback discards so experiments
+        #: can tell induced faults from early-discard policy.
+        self.discarded_stalled = 0
+        #: Set by the fault plane during an NIC stall window.
+        self.stalled = False
         #: Kernel wait channel for blocking receivers.
         self.wait_channel = None
         #: Sockets sharing this channel (multicast groups / shared
@@ -67,6 +74,9 @@ class NiChannel:
         The discard costs the caller nothing — that is the point of
         early packet discard.
         """
+        if self.stalled:
+            self.discarded_stalled += 1
+            return False
         if not self.processing_enabled:
             self.discarded_disabled += 1
             return False
@@ -86,10 +96,18 @@ class NiChannel:
     def __len__(self) -> int:
         return len(self.queue)
 
-    @property
     def total_discards(self) -> int:
-        return self.discarded_full + self.discarded_disabled
+        """All discards regardless of cause (capacity, feedback
+        disable, fault-injected stall)."""
+        return (self.discarded_full + self.discarded_disabled
+                + self.discarded_stalled)
+
+    def discards_by_cause(self) -> dict:
+        return {"full": self.discarded_full,
+                "disabled": self.discarded_disabled,
+                "stalled": self.discarded_stalled,
+                "total": self.total_discards()}
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<NiChannel {self.name} {len(self.queue)}/{self.depth} "
-                f"drops={self.total_discards}>")
+                f"drops={self.total_discards()}>")

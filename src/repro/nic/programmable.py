@@ -62,6 +62,7 @@ class ProgrammableNic(BaseNic):
         self.rx_drops_fifo = 0
         self.rx_demuxed = 0
         self.rx_unmatched = 0
+        self.rx_misclassified = 0
         self.host_interrupts = 0
 
     # ------------------------------------------------------------------
@@ -94,6 +95,12 @@ class ProgrammableNic(BaseNic):
                             else (None, None))
         if channel is None:
             outcome, channel = self.table.demux(frame.packet)
+        if self.fault_plane is not None and channel is not None \
+                and self.fault_plane.nic_misclassify(frame.packet):
+            # Fault injection: firmware classified into the wrong
+            # bucket; the packet lands on the fragment channel.
+            outcome, channel = FRAGMENT, self.table.fragment_channel
+            self.rx_misclassified += 1
         trace = self.sim.trace
         if outcome in (MATCHED, DAEMON, FRAGMENT) and channel is not None:
             was_empty = len(channel) == 0
@@ -108,7 +115,9 @@ class ProgrammableNic(BaseNic):
             elif trace.enabled:
                 trace.pkt_drop(
                     "ni_channel", flow_of(frame.packet),
-                    reason=("disabled" if not channel.processing_enabled
+                    reason=("stalled" if channel.stalled
+                            else "disabled"
+                            if not channel.processing_enabled
                             else "early_discard"))
             return
         self.rx_unmatched += 1

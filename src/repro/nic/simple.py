@@ -44,6 +44,12 @@ class SimpleNic(BaseNic):
     def receive_frame(self, frame: Frame) -> None:
         self.rx_frames += 1
         trace = self.sim.trace
+        if self.stalled:
+            self.rx_drops_stall += 1
+            if trace.enabled:
+                trace.pkt_drop("rx_ring", flow_of(frame.packet),
+                               reason="nic_stall")
+            return
         if self.rx_ring_used >= self.rx_ring_size:
             self.rx_drops_ring += 1
             if trace.enabled:

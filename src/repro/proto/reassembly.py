@@ -23,13 +23,21 @@ IPFRAGTTL_USEC = 30_000_000.0
 
 
 class _Reassembly:
-    __slots__ = ("fragments", "head", "total_len", "started_at")
+    __slots__ = ("fragments", "head", "total_len", "started_at",
+                 "chains", "corrupt")
 
     def __init__(self, started_at: float):
         self.fragments: List[Tuple[int, int]] = []  # (offset, length)
         self.head: Optional[IpPacket] = None
         self.total_len: Optional[int] = None
         self.started_at = started_at
+        #: Mbuf chains parked here while the datagram is incomplete;
+        #: released on completion or expiry (a fragment's buffers stay
+        #: allocated for the reassembly's whole lifetime, exactly the
+        #: resource BSD's IPFRAGTTL exists to reclaim).
+        self.chains: List = []
+        #: Any corrupted fragment corrupts the reassembled datagram.
+        self.corrupt = False
 
 
 class Reassembler:
@@ -39,6 +47,7 @@ class Reassembler:
         self._table: Dict[Tuple[int, int], _Reassembly] = {}
         self.completed = 0
         self.expired = 0
+        self.ttl_usec = IPFRAGTTL_USEC
 
     def add(self, packet: IpPacket, now: float) -> Optional[IpPacket]:
         """Insert a fragment; returns the whole packet if complete."""
@@ -50,6 +59,12 @@ class Reassembler:
             entry = _Reassembly(now)
             self._table[key] = entry
         entry.fragments.append((packet.frag_offset, packet.payload_len))
+        if packet._mbuf_chain is not None:
+            # The reassembly takes ownership of the fragment's buffers.
+            entry.chains.append(packet._mbuf_chain)
+            packet._mbuf_chain = None
+        if packet.corrupt:
+            entry.corrupt = True
         if packet.frag_offset == 0:
             entry.head = packet
         if not packet.more_frags:
@@ -69,12 +84,22 @@ class Reassembler:
         head = entry.head
         del self._table[key]
         self.completed += 1
+        self._free_chains(entry)
         whole = IpPacket(head.src, head.dst, head.proto,
                          transport=head.transport,
                          payload_len=entry.total_len,
                          ident=head.ident)
         whole.stamp = head.stamp
+        if entry.corrupt:
+            whole.corrupt = True
+            whole.corrupt_bit = head.corrupt_bit
         return whole
+
+    @staticmethod
+    def _free_chains(entry: _Reassembly) -> None:
+        for chain in entry.chains:
+            chain.free()
+        entry.chains = []
 
     def has_pending(self, src, ident: int) -> bool:
         return (src.value, ident) in self._table
@@ -92,14 +117,16 @@ class Reassembler:
                 done.append(whole)
         return done
 
-    def expire(self, now: float) -> int:
-        """Drop reassemblies older than IPFRAGTTL; returns count."""
+    def expire(self, now: float) -> List[Tuple[int, int]]:
+        """Drop reassemblies older than the TTL, freeing their parked
+        mbuf chains; returns the expired keys."""
         stale = [key for key, entry in self._table.items()
-                 if now - entry.started_at > IPFRAGTTL_USEC]
+                 if now - entry.started_at >= self.ttl_usec]
         for key in stale:
+            self._free_chains(self._table[key])
             del self._table[key]
         self.expired += len(stale)
-        return len(stale)
+        return stale
 
     @property
     def pending(self) -> int:

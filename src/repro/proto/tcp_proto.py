@@ -161,6 +161,9 @@ class TcpConnection:
         self.rttvar = 0.0
         self.rto = RTO_INIT
         self.backoff = 1
+        #: High-water mark of the exponential backoff, for recovery
+        #: experiments (reset-on-ACK erases ``backoff`` itself).
+        self.max_backoff = 1
         self._rtt_seq: Optional[int] = None
         self._rtt_start = 0.0
 
@@ -334,6 +337,7 @@ class TcpConnection:
             return actions
         self.retransmits += 1
         self.backoff = min(self.backoff * 2, 64)
+        self.max_backoff = max(self.max_backoff, self.backoff)
         self._rtt_seq = None  # Karn: don't time retransmitted data
         self.ssthresh = max(2 * self.mss, self.inflight // 2)
         self.cwnd = self.mss

@@ -35,8 +35,11 @@ from __future__ import annotations
 
 import importlib
 import os
+import signal
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO, Tuple
 
 from repro.runner.cache import ResultCache, canonicalize, point_digest
@@ -48,6 +51,10 @@ from repro.trace import get_default_tracer
 PointSpec = Tuple
 
 
+class PointTimeout(RuntimeError):
+    """A sweep point exceeded its per-point wall-clock budget."""
+
+
 def _resolve(dotted_module: str, qualname: str) -> Callable:
     obj: Any = importlib.import_module(dotted_module)
     for part in qualname.split("."):
@@ -55,16 +62,48 @@ def _resolve(dotted_module: str, qualname: str) -> Callable:
     return obj
 
 
-def _invoke(dotted_module: str, qualname: str,
-            kwargs: Dict[str, Any]) -> Tuple[Any, float]:
+def _call_with_timeout(fn: Callable, kwargs: Dict[str, Any],
+                       timeout_sec: Optional[float]) -> Any:
+    """Run ``fn(**kwargs)``, raising :class:`PointTimeout` if it runs
+    longer than *timeout_sec*.
+
+    Uses SIGALRM, the only way to interrupt a wedged simulation loop
+    from within the same process; degrades to an unguarded call where
+    alarms are unavailable (non-main thread, platforms without
+    SIGALRM).
+    """
+    can_alarm = (timeout_sec is not None and timeout_sec > 0
+                 and hasattr(signal, "SIGALRM")
+                 and threading.current_thread()
+                 is threading.main_thread())
+    if not can_alarm:
+        return fn(**kwargs)
+
+    def _on_alarm(signum, frame):
+        raise PointTimeout(
+            f"point exceeded {timeout_sec:.1f}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_sec)
+    try:
+        return fn(**kwargs)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _invoke(dotted_module: str, qualname: str, kwargs: Dict[str, Any],
+            timeout_sec: Optional[float] = None) -> Tuple[Any, float]:
     """Worker-side execution of one point; returns (result, wall_sec).
 
     The function is resolved by name rather than pickled by value so
-    points survive the round trip to a worker process unchanged.
+    points survive the round trip to a worker process unchanged.  The
+    timeout is enforced worker-side (each worker's main thread), so a
+    wedged point kills only its own attempt.
     """
     fn = _resolve(dotted_module, qualname)
     started = time.perf_counter()
-    result = fn(**kwargs)
+    result = _call_with_timeout(fn, kwargs, timeout_sec)
     return result, time.perf_counter() - started
 
 
@@ -88,23 +127,39 @@ class SweepRunner:
         memoization.
     :param progress: stream per-point progress lines to stderr.
     :param label: name shown in progress lines and the results log.
+    :param point_timeout_sec: per-point wall-clock budget; a point
+        exceeding it fails with :class:`PointTimeout` (and is retried
+        if retries are configured).  ``None`` disables the guard.
+    :param retries: how many times a failed point is re-attempted
+        before being recorded as failed (result ``None``).
+    :param retry_backoff_sec: sleep before retry *n* is
+        ``retry_backoff_sec * 2**n`` — real seconds, since the failures
+        being absorbed (dying workers, timeouts) are host-level.
     """
 
     def __init__(self, workers: int = 0,
                  cache: Optional[ResultCache] = None,
                  progress: bool = False,
                  label: str = "sweep",
-                 stream: Optional[TextIO] = None) -> None:
+                 stream: Optional[TextIO] = None,
+                 point_timeout_sec: Optional[float] = None,
+                 retries: int = 0,
+                 retry_backoff_sec: float = 0.5) -> None:
         self.workers = max(0, int(workers))
         self.cache = cache
         self.progress = progress
         self.label = label
         self.stream = stream
+        self.point_timeout_sec = point_timeout_sec
+        self.retries = max(0, int(retries))
+        self.retry_backoff_sec = retry_backoff_sec
         self.wallclock = WallClock()
         #: One entry per executed point, in submission order; the CLI
         #: serializes this into ``--results-json`` output.
         self.points_log: List[Dict[str, Any]] = []
         self.notes: List[str] = []
+        #: Points that exhausted their retries this runner's lifetime.
+        self.failed_points = 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -157,6 +212,7 @@ class SweepRunner:
 
         results: List[Any] = [None] * len(specs)
         pending: List[int] = []
+        log_start = len(self.points_log)
         for index, (fn, kwargs, point_label) in enumerate(specs):
             digest = point_digest(fn, kwargs)
             if cache is not None:
@@ -165,7 +221,7 @@ class SweepRunner:
                     results[index] = value
                     self._log_point(fn, kwargs, point_label, digest,
                                     cached=True, wall_sec=0.0,
-                                    result=value)
+                                    result=value, seq=index)
                     reporter.point_done(point_label, 0.0, cached=True)
                     continue
             pending.append(index)
@@ -176,6 +232,14 @@ class SweepRunner:
         else:
             self._run_serial(specs, pending, results, cache, reporter)
         reporter.close()
+        # Parallel futures complete (and log) in nondeterministic
+        # order; restore submission order so results JSON is stable
+        # across serial/parallel/cached runs.
+        tail = sorted(self.points_log[log_start:],
+                      key=lambda entry: entry["_seq"])
+        for entry in tail:
+            del entry["_seq"]
+        self.points_log[log_start:] = tail
         return results
 
     # ------------------------------------------------------------------
@@ -191,35 +255,138 @@ class SweepRunner:
                     reporter) -> None:
         for index in pending:
             fn, kwargs, point_label = specs[index]
-            started = time.perf_counter()
-            value = fn(**kwargs)
-            wall = time.perf_counter() - started
-            results[index] = value
-            self._finish_computed(specs[index], value, wall, cache,
-                                  reporter)
+            attempt = 0
+            while True:
+                started = time.perf_counter()
+                try:
+                    # The function object is called directly (not
+                    # resolved by name) so closures and lambdas work
+                    # in serial mode, as they always have.
+                    value = _call_with_timeout(fn, kwargs,
+                                               self.point_timeout_sec)
+                except Exception as exc:
+                    wall = time.perf_counter() - started
+                    if attempt < self.retries:
+                        self._note_retry(point_label, exc, attempt)
+                        time.sleep(self.retry_backoff_sec * 2 ** attempt)
+                        attempt += 1
+                        continue
+                    self._finish_failed(specs[index], exc, wall,
+                                        reporter, seq=index)
+                    break
+                wall = time.perf_counter() - started
+                results[index] = value
+                self._finish_computed(specs[index], value, wall, cache,
+                                      reporter, seq=index)
+                break
 
     def _run_parallel(self, specs, pending, results, cache, workers,
                       reporter) -> None:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {}
-            for index in pending:
-                fn, kwargs, _ = specs[index]
-                future = pool.submit(_invoke, fn.__module__,
-                                     fn.__qualname__, kwargs)
-                futures[future] = index
-            outstanding = set(futures)
-            while outstanding:
-                finished, outstanding = wait(outstanding,
-                                             return_when=FIRST_COMPLETED)
-                for future in finished:
-                    index = futures[future]
-                    value, wall = future.result()
-                    results[index] = value
-                    self._finish_computed(specs[index], value, wall,
-                                          cache, reporter)
+        attempts = {index: 0 for index in pending}
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {}
+                for index in pending:
+                    futures[self._submit(pool, specs[index])] = index
+                outstanding = set(futures)
+                while outstanding:
+                    finished, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        index = futures.pop(future)
+                        try:
+                            value, wall = future.result()
+                        except BrokenProcessPool:
+                            raise
+                        except Exception as exc:
+                            if attempts[index] < self.retries:
+                                self._note_retry(specs[index][2], exc,
+                                                 attempts[index])
+                                time.sleep(self.retry_backoff_sec
+                                           * 2 ** attempts[index])
+                                attempts[index] += 1
+                                retry = self._submit(pool, specs[index])
+                                futures[retry] = index
+                                outstanding.add(retry)
+                                continue
+                            self._finish_failed(specs[index], exc, 0.0,
+                                                reporter, seq=index)
+                            attempts.pop(index)
+                            continue
+                        results[index] = value
+                        self._finish_computed(specs[index], value, wall,
+                                              cache, reporter,
+                                              seq=index)
+                        attempts.pop(index)
+        except BrokenProcessPool as exc:
+            # A worker died hard (segfault, os._exit, OOM-kill).  The
+            # pool cannot say which point did it, so every unfinished
+            # point re-runs in its own single-worker pool: the culprit
+            # fails alone, innocent bystanders complete.
+            survivors = sorted(attempts)
+            self.notes.append(
+                f"worker pool broke ({exc!r}); re-running "
+                f"{len(survivors)} unfinished point(s) in isolation")
+            for index in survivors:
+                self._run_isolated(specs[index], index, results, cache,
+                                   reporter)
+
+    def _submit(self, pool, spec):
+        fn, kwargs, _ = spec
+        return pool.submit(_invoke, fn.__module__, fn.__qualname__,
+                           kwargs, self.point_timeout_sec)
+
+    def _run_isolated(self, spec, index, results, cache,
+                      reporter) -> None:
+        """Crash-isolation mode: one point, one disposable worker."""
+        fn, kwargs, point_label = spec
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.retry_backoff_sec * 2 ** (attempt - 1))
+            try:
+                with ProcessPoolExecutor(max_workers=1) as solo:
+                    value, wall = solo.submit(
+                        _invoke, fn.__module__, fn.__qualname__,
+                        kwargs, self.point_timeout_sec).result()
+            except Exception as exc:
+                if attempt < self.retries:
+                    self._note_retry(point_label, exc, attempt)
+                    continue
+                self._finish_failed(spec, exc, 0.0, reporter, seq=index)
+                return
+            results[index] = value
+            self._finish_computed(spec, value, wall, cache, reporter,
+                                  seq=index)
+            return
+
+    def _note_retry(self, point_label, exc, attempt) -> None:
+        self.notes.append(
+            f"retrying {point_label} after {type(exc).__name__} "
+            f"(attempt {attempt + 1}/{self.retries})")
+
+    def _finish_failed(self, spec, exc, wall_sec, reporter,
+                       seq: int) -> None:
+        """Record a point that exhausted its retries: result ``None``,
+        error captured in the points log, sweep continues."""
+        fn, kwargs, point_label = spec
+        digest = point_digest(fn, kwargs)
+        self.failed_points += 1
+        self.wallclock.record(point_label, wall_sec, cached=False)
+        self.points_log.append({
+            "label": point_label,
+            "fn": f"{fn.__module__}.{fn.__qualname__}",
+            "digest": digest,
+            "params": canonicalize(kwargs),
+            "cached": False,
+            "wall_clock_sec": round(wall_sec, 6),
+            "result": None,
+            "error": repr(exc),
+            "_seq": seq,
+        })
+        reporter.point_done(point_label, wall_sec, cached=False)
 
     def _finish_computed(self, spec, value, wall_sec, cache,
-                         reporter) -> None:
+                         reporter, seq: int) -> None:
         fn, kwargs, point_label = spec
         digest = point_digest(fn, kwargs)
         if cache is not None:
@@ -229,11 +396,11 @@ class SweepRunner:
                 "params": canonicalize(kwargs),
             })
         self._log_point(fn, kwargs, point_label, digest, cached=False,
-                        wall_sec=wall_sec, result=value)
+                        wall_sec=wall_sec, result=value, seq=seq)
         reporter.point_done(point_label, wall_sec, cached=False)
 
     def _log_point(self, fn, kwargs, point_label, digest, cached,
-                   wall_sec, result) -> None:
+                   wall_sec, result, seq: int) -> None:
         self.wallclock.record(point_label, wall_sec, cached=cached)
         self.points_log.append({
             "label": point_label,
@@ -243,6 +410,7 @@ class SweepRunner:
             "cached": cached,
             "wall_clock_sec": round(wall_sec, 6),
             "result": result,
+            "_seq": seq,
         })
 
     # ------------------------------------------------------------------
@@ -250,6 +418,7 @@ class SweepRunner:
         """Machine-readable run summary (embedded in results JSON)."""
         out: Dict[str, Any] = {
             "workers": self.workers,
+            "failed_points": self.failed_points,
             "wallclock": self.wallclock.summary(),
         }
         out["cache"] = (self.cache.stats() if self.cache is not None

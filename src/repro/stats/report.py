@@ -46,6 +46,26 @@ def format_series(title: str, xlabel: str, ylabel: str,
     return f"== {title} ==\n" + format_table(headers, rows)
 
 
+def channel_discard_summary(channels) -> dict:
+    """Aggregate NI-channel discards per routing class and cause.
+
+    *channels* is any iterable of
+    :class:`~repro.nic.channels.NiChannel`; the result maps each
+    routing class (``udp``/``tcp``/``daemon``/``frag``) to its summed
+    :meth:`~repro.nic.channels.NiChannel.discards_by_cause` — letting
+    reports tell capacity/early-discard drops from feedback disables
+    and fault-injected stalls at a glance.
+    """
+    summary: dict = {}
+    for channel in channels:
+        bucket = summary.setdefault(
+            channel.kind,
+            {"full": 0, "disabled": 0, "stalled": 0, "total": 0})
+        for cause, count in channel.discards_by_cause().items():
+            bucket[cause] += count
+    return summary
+
+
 def _fmt(cell: object) -> str:
     if isinstance(cell, float):
         if cell != cell:  # NaN

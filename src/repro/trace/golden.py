@@ -36,15 +36,32 @@ N_DGRAMS = 10
 #: Bytes pushed over the TCP connection.
 TCP_BYTES = 4096
 
-#: Golden architectures, keyed by the file-name slug.
-GOLDEN_ARCHES = ("bsd", "soft-lrp", "ni-lrp")
+#: Golden architectures, keyed by the file-name slug.  The ``-faults``
+#: variants run the identical workload under a small seeded
+#: :class:`~repro.faults.plan.FaultPlan` (link loss + bit corruption),
+#: pinning the fault plane's event order — injection points, checksum
+#: drops, and TCP loss recovery — into the regression surface.
+GOLDEN_ARCHES = ("bsd", "soft-lrp", "ni-lrp",
+                 "bsd-faults", "soft-lrp-faults", "ni-lrp-faults")
 
 
 def _arch_of(key: str):
     from repro.core import Architecture
     return {"bsd": Architecture.BSD,
             "soft-lrp": Architecture.SOFT_LRP,
-            "ni-lrp": Architecture.NI_LRP}[key]
+            "ni-lrp": Architecture.NI_LRP}[key.replace("-faults", "")]
+
+
+def _golden_fault_plan():
+    from repro.faults import FaultPlan, FaultRule
+    return FaultPlan(seed=GOLDEN_SEED, rules=(
+        FaultRule("link", "drop", start_usec=5_000.0,
+                  end_usec=60_000.0, probability=0.25,
+                  name="golden-loss"),
+        FaultRule("link", "corrupt", start_usec=5_000.0,
+                  end_usec=60_000.0, probability=0.25,
+                  name="golden-corrupt"),
+    ))
 
 
 def run_golden_workload(arch_key: str,
@@ -60,8 +77,15 @@ def run_golden_workload(arch_key: str,
         tracer = Tracer(capacity=None)
     sim = Simulator(seed=GOLDEN_SEED, tracer=tracer)
     network = Network(sim)
-    server = build_host(sim, network, "10.0.0.1", _arch_of(arch_key))
-    client = build_host(sim, network, "10.0.0.2", Architecture.BSD)
+    fault_plane = None
+    if arch_key.endswith("-faults"):
+        from repro.faults import FaultPlane
+        fault_plane = FaultPlane(sim, _golden_fault_plan())
+        fault_plane.attach_network(network)
+    server = build_host(sim, network, "10.0.0.1", _arch_of(arch_key),
+                        fault_plane=fault_plane)
+    client = build_host(sim, network, "10.0.0.2", Architecture.BSD,
+                        fault_plane=fault_plane)
 
     def udp_sink():
         sock = yield Syscall("socket", stype="udp")

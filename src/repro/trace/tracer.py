@@ -45,9 +45,11 @@ CAT_PKT = "pkt"
 CAT_SYSCALL = "syscall"
 #: TCP connection state transitions.
 CAT_TCP = "tcp"
+#: Fault injections (one record per fault applied to a packet).
+CAT_FAULT = "fault"
 
 CATEGORIES = (CAT_ENGINE, CAT_INTR, CAT_SCHED, CAT_PKT, CAT_SYSCALL,
-              CAT_TCP)
+              CAT_TCP, CAT_FAULT)
 
 
 class TraceRecord:
@@ -211,6 +213,11 @@ class Tracer:
     def tcp_state_change(self, flow: str, old: str, new: str) -> None:
         self.emit(CAT_TCP, "tcp_state_change", flow=flow, old=old,
                   new=new)
+
+    def fault_injected(self, layer: str, kind: str, flow: str) -> None:
+        """The fault plane applied a per-packet fault."""
+        self.emit(CAT_FAULT, "fault_injected", layer=layer, kind=kind,
+                  flow=flow)
 
     # ------------------------------------------------------------------
     # Inspection

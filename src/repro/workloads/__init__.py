@@ -1,9 +1,15 @@
 """Workload generation: raw packet injectors and scenario helpers."""
 
+from repro.workloads.adversarial import (
+    BurstyUdpBlaster,
+    aborting_client,
+    slow_client,
+)
 from repro.workloads.sources import (
     InjectorPort,
     RawSynInjector,
     RawUdpInjector,
 )
 
-__all__ = ["InjectorPort", "RawSynInjector", "RawUdpInjector"]
+__all__ = ["InjectorPort", "RawSynInjector", "RawUdpInjector",
+           "BurstyUdpBlaster", "slow_client", "aborting_client"]

@@ -1,0 +1,137 @@
+"""Adversarial workloads: misbehaving senders and clients.
+
+The paper's Table 2 pits a well-behaved victim socket against traffic
+aimed at *another* socket on the same host; these generators make that
+scenario — and several nastier ones — reusable:
+
+* :class:`BurstyUdpBlaster` — an on/off UDP source that alternates
+  between silence and a line-rate burst aimed at one port, the
+  misbehaving flow whose damage to a victim socket the degradation
+  experiments measure;
+* :func:`slow_client` — a TCP sender that trickles tiny writes with
+  long think times, occupying server-side connection state for ages
+  (slowloris-shaped);
+* :func:`aborting_client` — connects, sends a little, then closes
+  mid-conversation, exercising teardown under load;
+* SYN floods are covered by the existing
+  :class:`~repro.workloads.sources.RawSynInjector`.
+
+Everything here is deterministic: schedules derive from the arguments
+only, never from RNG or wall-clock state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.process import Sleep, Syscall
+from repro.engine.simulator import Simulator
+from repro.net.addr import IPAddr
+from repro.net.ip import IPPROTO_UDP, IpPacket
+from repro.net.link import Network
+from repro.net.udp import UdpDatagram
+from repro.workloads.sources import InjectorPort
+
+
+class BurstyUdpBlaster:
+    """On/off UDP blaster: ``burst_usec`` at ``rate_pps``, then
+    ``idle_usec`` of silence, repeating.
+
+    The duty cycle makes it harsher than a constant-rate source of the
+    same average: each burst arrives faster than the victim's server
+    can drain, so eager architectures spend their CPU on the blast
+    while LRP sheds it at the NI channel.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, src_addr,
+                 dst_addr, dst_port: int, payload_bytes: int = 14,
+                 src_port: int = 21000,
+                 burst_usec: float = 50_000.0,
+                 idle_usec: float = 50_000.0):
+        self.sim = sim
+        self.port = InjectorPort(sim, network, src_addr)
+        self.dst_addr = IPAddr(dst_addr)
+        self.dst_port = dst_port
+        self.src_port = src_port
+        self.payload_bytes = payload_bytes
+        self.burst_usec = burst_usec
+        self.idle_usec = idle_usec
+        self.sent = 0
+        self._running = False
+        self._gap = 0.0
+        self._burst_ends = 0.0
+        self._until: Optional[float] = None
+
+    def start(self, rate_pps: float,
+              until_usec: Optional[float] = None) -> None:
+        """Begin blasting at *rate_pps* within bursts; stops itself at
+        *until_usec* if given."""
+        if rate_pps <= 0:
+            return
+        self._gap = 1e6 / rate_pps
+        self._until = until_usec
+        if not self._running:
+            self._running = True
+            self._burst_ends = self.sim.now + self.burst_usec
+            self.sim.schedule(self._gap, self._fire)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        if self._until is not None and now >= self._until:
+            self._running = False
+            return
+        if now >= self._burst_ends:
+            # Burst over: go quiet, resume at the next burst boundary.
+            self._burst_ends = now + self.idle_usec + self.burst_usec
+            self.sim.schedule(self.idle_usec + self._gap, self._fire)
+            return
+        dgram = UdpDatagram(self.src_port, self.dst_port,
+                            payload_len=self.payload_bytes,
+                            checksum_enabled=False)
+        packet = IpPacket(self.port.addr, self.dst_addr, IPPROTO_UDP,
+                          dgram, dgram.total_len)
+        self.port.send_packet(packet)
+        self.sent += 1
+        self.sim.schedule(self._gap, self._fire)
+
+
+def slow_client(server_addr, server_port: int,
+                total_bytes: int = 256, chunk_bytes: int = 16,
+                think_usec: float = 200_000.0):
+    """Process body for a slowloris-shaped TCP client: connect, then
+    dribble *chunk_bytes* every *think_usec*, holding the connection
+    (and the server's per-connection state) open the whole time."""
+    sock = yield Syscall("socket", stype="tcp")
+    rc = yield Syscall("connect", sock=sock, addr=server_addr,
+                       port=server_port)
+    if rc != 0:
+        return
+    sent = 0
+    while sent < total_bytes:
+        chunk = min(chunk_bytes, total_bytes - sent)
+        yield Syscall("send", sock=sock, nbytes=chunk)
+        sent += chunk
+        yield Sleep(think_usec)
+    yield Syscall("close", sock=sock)
+
+
+def aborting_client(server_addr, server_port: int,
+                    send_bytes: int = 512,
+                    abort_after_usec: float = 5_000.0):
+    """Process body for a client that connects, pushes a little data,
+    then closes mid-conversation — the server is left to discover the
+    abandonment and tear down state."""
+    sock = yield Syscall("socket", stype="tcp")
+    rc = yield Syscall("connect", sock=sock, addr=server_addr,
+                       port=server_port)
+    if rc != 0:
+        return
+    if send_bytes > 0:
+        yield Syscall("send", sock=sock, nbytes=send_bytes)
+    yield Sleep(abort_after_usec)
+    yield Syscall("close", sock=sock)

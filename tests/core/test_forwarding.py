@@ -164,7 +164,7 @@ def test_lrp_forwarding_overload_sheds_at_channel():
     _patch_injector_next_hop(injector, GW_A)
     sim.schedule(20_000.0, injector.start, 18_000)
     sim.run_until(600_000.0)
-    assert daemon.channel.total_discards > 500
+    assert daemon.channel.total_discards() > 500
 
 
 def test_ttl_expiry_drops_transit_packets():

@@ -125,7 +125,7 @@ class TestDropLocations:
         assert bsd.stats.get("drop_sockq") > 0 \
             or bsd.stats.get("drop_ipq") > 0
         # LRP shed at the channel without touching IP input for them.
-        lrp_channel_drops = sum(ch.total_discards
+        lrp_channel_drops = sum(ch.total_discards()
                                 for ch in lrp.udp_channels)
         assert lrp_channel_drops > 1000
         assert lrp.stats.get("ip_in") < 20_000 * 0.4 * 0.9

@@ -36,7 +36,7 @@ def test_reenabling_restores_acceptance():
     chan.offer(1)
     chan.processing_enabled = True
     assert chan.offer(2)
-    assert chan.total_discards == 1
+    assert chan.total_discards() == 1
 
 
 def test_draining_makes_room():

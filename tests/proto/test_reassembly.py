@@ -71,8 +71,8 @@ def test_expiry():
     _, frags = make_fragments()
     r = Reassembler()
     r.add(frags[0], now=0.0)
-    assert r.expire(now=IPFRAGTTL_USEC / 2) == 0
-    assert r.expire(now=IPFRAGTTL_USEC * 2) == 1
+    assert len(r.expire(now=IPFRAGTTL_USEC / 2)) == 0
+    assert len(r.expire(now=IPFRAGTTL_USEC * 2)) == 1
     assert r.pending == 0
     assert r.expired == 1
 

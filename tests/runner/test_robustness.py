@@ -1,0 +1,141 @@
+"""Sweep-runner robustness: per-point timeouts, bounded retry with
+backoff, and crash isolation — a dying point must never take the sweep
+(or sibling points) down with it."""
+
+import os
+import time
+
+import pytest
+
+from repro.runner import SweepRunner
+from repro.runner.sweep import PointTimeout
+
+
+# Module-level point functions: resolvable by name in worker processes.
+def ok_point(x):
+    return x * 2
+
+
+def slow_point(duration_sec):
+    time.sleep(duration_sec)
+    return "finished"
+
+
+def failing_point(message):
+    raise RuntimeError(message)
+
+
+def flaky_point(marker):
+    """Fails until *marker* exists, then succeeds (transient fault)."""
+    if os.path.exists(marker):
+        return "recovered"
+    open(marker, "w").close()
+    raise RuntimeError("transient failure")
+
+
+def crashing_point(code):
+    os._exit(code)  # simulates a segfaulting worker
+
+
+# ----------------------------------------------------------------------
+# Serial path
+# ----------------------------------------------------------------------
+def test_serial_timeout_fails_point_not_sweep():
+    runner = SweepRunner(point_timeout_sec=0.2)
+    results = runner.map_points([
+        (ok_point, {"x": 1}),
+        (slow_point, {"duration_sec": 10.0}),
+        (ok_point, {"x": 3}),
+    ])
+    assert results == [2, None, 6]
+    assert runner.failed_points == 1
+    failed = [p for p in runner.points_log if p.get("error")]
+    assert len(failed) == 1
+    assert "PointTimeout" in failed[0]["error"]
+    assert failed[0]["result"] is None
+    assert runner.summary()["failed_points"] == 1
+
+
+def test_serial_retry_recovers_transient_failure(tmp_path):
+    marker = str(tmp_path / "marker")
+    runner = SweepRunner(retries=1, retry_backoff_sec=0.01)
+    results = runner.map(flaky_point, [dict(marker=marker)])
+    assert results == ["recovered"]
+    assert runner.failed_points == 0
+    assert any("retrying" in note for note in runner.notes)
+
+
+def test_serial_exhausted_retries_record_failure():
+    runner = SweepRunner(retries=2, retry_backoff_sec=0.01)
+    results = runner.map_points([
+        (failing_point, {"message": "always"}),
+        (ok_point, {"x": 5}),
+    ])
+    assert results == [None, 10]
+    assert runner.failed_points == 1
+    retry_notes = [n for n in runner.notes if "retrying" in n]
+    assert len(retry_notes) == 2
+
+
+def test_timeout_disabled_by_default():
+    runner = SweepRunner()
+    assert runner.map(slow_point, [dict(duration_sec=0.05)]) \
+        == ["finished"]
+
+
+# ----------------------------------------------------------------------
+# Parallel path
+# ----------------------------------------------------------------------
+def test_parallel_timeout_fails_point_not_sweep():
+    runner = SweepRunner(workers=2, point_timeout_sec=0.3)
+    results = runner.map_points([
+        (ok_point, {"x": 1}),
+        (slow_point, {"duration_sec": 10.0}),
+        (ok_point, {"x": 3}),
+    ])
+    assert results == [2, None, 6]
+    assert runner.failed_points == 1
+
+
+def test_parallel_worker_crash_is_isolated():
+    """A worker dying hard (os._exit) breaks the pool; the runner
+    re-runs unfinished points in isolation so only the culprit fails."""
+    runner = SweepRunner(workers=2)
+    specs = [(ok_point, {"x": i}) for i in range(4)]
+    specs.insert(2, (crashing_point, {"code": 3}))
+    results = runner.map_points(specs)
+    assert results == [0, 2, None, 4, 6]
+    assert runner.failed_points == 1
+    assert any("isolation" in note for note in runner.notes)
+
+
+def test_parallel_retry_of_failing_point():
+    runner = SweepRunner(workers=2, retries=1, retry_backoff_sec=0.01)
+    results = runner.map_points([
+        (failing_point, {"message": "nope"}),
+        (ok_point, {"x": 2}),
+    ])
+    assert results == [None, 4]
+    assert runner.failed_points == 1
+    assert any("retrying" in n for n in runner.notes)
+
+
+# ----------------------------------------------------------------------
+# The timeout primitive
+# ----------------------------------------------------------------------
+def test_call_with_timeout_raises_point_timeout():
+    from repro.runner.sweep import _call_with_timeout
+    with pytest.raises(PointTimeout):
+        _call_with_timeout(slow_point, {"duration_sec": 5}, 0.1)
+
+
+def test_call_with_timeout_restores_previous_handler():
+    import signal
+    from repro.runner.sweep import _call_with_timeout
+
+    sentinel = signal.signal(signal.SIGALRM, signal.SIG_IGN)
+    try:
+        assert _call_with_timeout(lambda: "ok", {}, 5.0) == "ok"
+        assert signal.getsignal(signal.SIGALRM) is signal.SIG_IGN
+    finally:
+        signal.signal(signal.SIGALRM, sentinel)

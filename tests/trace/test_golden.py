@@ -41,8 +41,14 @@ def test_golden_workload_covers_every_category(arch):
                   "syscall_exit", "tcp_state_change"):
         assert counts.get(etype, 0) > 0, (
             f"{arch}: no {etype} records in golden workload")
-    # syscalls are balanced: every enter has a matching exit
-    assert counts["syscall_enter"] == counts["syscall_exit"]
+    if arch.endswith("-faults"):
+        # Fault runs must actually inject faults; receivers blocked on
+        # lost packets legitimately never exit their syscalls.
+        assert counts.get("fault_injected", 0) > 0
+        assert counts["syscall_enter"] >= counts["syscall_exit"]
+    else:
+        # syscalls are balanced: every enter has a matching exit
+        assert counts["syscall_enter"] == counts["syscall_exit"]
 
 
 def test_architectures_have_distinct_traces():
