@@ -1,0 +1,147 @@
+"""Microbenchmark subsystem (``python -m repro.bench``).
+
+The ROADMAP's north star wants the simulator to run "as fast as the
+hardware allows"; this package is how that is *measured* instead of
+assumed.  It times the engine's hot paths in isolation and end-to-end:
+
+* ``event_queue`` — schedule/pop throughput of the event heap, plus a
+  cancel-heavy variant (timer churn is the TCP stack's access pattern);
+* ``mbuf_pool`` — mbuf chain allocate/free throughput;
+* ``packet_roundtrip`` — wall-clock cost of one simulated UDP
+  ping-pong round trip through two full BSD stacks;
+* ``figure3_point`` — per-architecture engine events/sec on a fixed
+  full-scale Figure-3 point, the number the CI perf gate tracks.
+
+Results are written as machine-readable ``BENCH_*.json``.  Because
+absolute events/sec depends on the host, every run also measures a
+pure-Python *calibration score* and the gate compares
+machine-normalized throughput (events/sec divided by the calibration
+score), so a baseline recorded on one machine remains meaningful on
+another.  See docs/BENCHMARKS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro import __version__
+from repro.bench.calibrate import calibration_kops
+from repro.bench.micro import (
+    bench_event_queue,
+    bench_event_queue_cancel,
+    bench_mbuf_pool,
+    bench_packet_roundtrip,
+)
+from repro.bench.figure3_point import bench_figure3_point
+
+#: Regression threshold for the CI gate: fail when normalized
+#: events/sec drops by more than this fraction vs the baseline.
+DEFAULT_GATE_THRESHOLD = 0.20
+
+#: Benchmark registry: name -> callable(quick: bool) -> dict.
+BENCHMARKS = {
+    "event_queue": bench_event_queue,
+    "event_queue_cancel": bench_event_queue_cancel,
+    "mbuf_pool": bench_mbuf_pool,
+    "packet_roundtrip": bench_packet_roundtrip,
+    "figure3_point": bench_figure3_point,
+}
+
+
+def run_benchmarks(quick: bool = False,
+                   only: Optional[Sequence[str]] = None,
+                   stream=None) -> Dict[str, Any]:
+    """Run the benchmark suite; returns the ``BENCH_*.json`` payload."""
+    stream = stream if stream is not None else sys.stderr
+    names = list(only) if only else list(BENCHMARKS)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        raise KeyError(f"unknown benchmark(s): {', '.join(unknown)}; "
+                       f"available: {', '.join(BENCHMARKS)}")
+    print(f"[bench] calibrating machine speed ...", file=stream)
+    kops = calibration_kops()
+    print(f"[bench] calibration: {kops:.0f} kops/sec", file=stream)
+    results: Dict[str, Any] = {}
+    for name in names:
+        started = time.perf_counter()
+        results[name] = BENCHMARKS[name](quick=quick)
+        wall = time.perf_counter() - started
+        print(f"[bench] {name}: done in {wall:.2f}s", file=stream)
+    return {
+        "schema": 1,
+        "tool": f"repro.bench/{__version__}",
+        "mode": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "calibration_kops_per_sec": round(kops, 3),
+        "results": results,
+    }
+
+
+def _normalized_figure3(payload: Dict[str, Any]) -> Dict[str, float]:
+    """Machine-normalized figure-3 throughput per architecture:
+    events/sec divided by a calibration score.
+
+    Prefers the per-architecture calibration sample taken immediately
+    before that architecture's run (robust against machine speed
+    drifting *during* the suite — common on shared CI runners) and
+    falls back to the payload-level score for older payloads.
+    """
+    kops = payload["calibration_kops_per_sec"]
+    point = payload["results"].get("figure3_point")
+    if not point or not kops:
+        return {}
+    return {arch: row["events_per_sec"]
+            / row.get("calibration_kops_per_sec", kops)
+            for arch, row in point["per_arch"].items()}
+
+
+def compare_results(new: Dict[str, Any], baseline: Dict[str, Any],
+                    threshold: float = DEFAULT_GATE_THRESHOLD
+                    ) -> Dict[str, Any]:
+    """Compare a fresh run against a baseline payload.
+
+    Returns ``{"ok": bool, "rows": [...], "threshold": ...}`` where
+    each row carries the per-architecture raw and normalized speedup
+    of the figure-3 point.  ``ok`` is False when any architecture's
+    *normalized* events/sec regressed by more than *threshold*.
+    """
+    new_norm = _normalized_figure3(new)
+    old_norm = _normalized_figure3(baseline)
+    new_point = new["results"].get("figure3_point", {})
+    old_point = baseline["results"].get("figure3_point", {})
+    rows: List[Dict[str, Any]] = []
+    ok = True
+    for arch in new_norm:
+        if arch not in old_norm:
+            continue
+        raw_new = new_point["per_arch"][arch]["events_per_sec"]
+        raw_old = old_point["per_arch"][arch]["events_per_sec"]
+        ratio = (new_norm[arch] / old_norm[arch]
+                 if old_norm[arch] else float("inf"))
+        regressed = ratio < 1.0 - threshold
+        ok = ok and not regressed
+        rows.append({
+            "arch": arch,
+            "events_per_sec": round(raw_new, 1),
+            "baseline_events_per_sec": round(raw_old, 1),
+            "raw_speedup": round(raw_new / raw_old, 3) if raw_old else None,
+            "normalized_speedup": round(ratio, 3),
+            "regressed": regressed,
+        })
+    return {"ok": ok, "threshold": threshold, "rows": rows}
+
+
+def write_payload(payload: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as out:
+        json.dump(payload, out, indent=2, sort_keys=True)
+        out.write("\n")
+
+
+def load_payload(path: str) -> Dict[str, Any]:
+    with open(path) as f:
+        return json.load(f)

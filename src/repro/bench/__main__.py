@@ -1,0 +1,95 @@
+"""CLI: ``python -m repro.bench`` — run the microbenchmark suite.
+
+Writes machine-readable ``BENCH_<mode>.json`` and, when given a
+baseline, prints per-architecture speedups and optionally enforces the
+perf gate (exit 1 on a normalized events/sec regression beyond the
+threshold).  See docs/BENCHMARKS.md for the workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench import (
+    BENCHMARKS,
+    DEFAULT_GATE_THRESHOLD,
+    compare_results,
+    load_payload,
+    run_benchmarks,
+    write_payload,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Engine microbenchmarks with a machine-readable "
+                    "BENCH_*.json record and a perf gate.")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (CI smoke; ~seconds "
+                             "instead of minutes)")
+    parser.add_argument("--only", nargs="+", metavar="NAME",
+                        choices=sorted(BENCHMARKS), default=None,
+                        help="run only these benchmarks")
+    parser.add_argument("--output", metavar="OUT.JSON", default=None,
+                        help="output path (default: BENCH_<mode>.json)")
+    parser.add_argument("--baseline", metavar="BASE.JSON", default=None,
+                        help="compare the run against this baseline "
+                             "payload and print per-arch speedups")
+    parser.add_argument("--gate", action="store_true",
+                        help="with --baseline: exit 1 when normalized "
+                             "figure-3 events/sec regressed beyond "
+                             "the threshold")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_GATE_THRESHOLD,
+                        help="gate regression threshold as a fraction "
+                             "(default: %(default)s)")
+    parser.add_argument("--list", action="store_true",
+                        help="list benchmark names and exit")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name in BENCHMARKS:
+            print(name)
+        return 0
+
+    payload = run_benchmarks(quick=args.quick, only=args.only)
+    output = args.output or f"BENCH_{payload['mode']}.json"
+    write_payload(payload, output)
+    print(f"[bench] wrote {output}", file=sys.stderr)
+
+    figure3 = payload["results"].get("figure3_point")
+    if figure3:
+        print("figure-3 point events/sec "
+              f"(rate={figure3['rate_pps']} pkts/s):")
+        for arch, row in figure3["per_arch"].items():
+            print(f"  {arch:12s} {row['events_per_sec']:>12,.0f} "
+                  f"ev/s  ({row['events']} events, "
+                  f"{row['wall_sec']:.2f}s)")
+
+    if args.baseline:
+        baseline = load_payload(args.baseline)
+        verdict = compare_results(payload, baseline,
+                                  threshold=args.threshold)
+        print(f"vs baseline {args.baseline} "
+              f"(gate threshold {verdict['threshold']:.0%}):")
+        for row in verdict["rows"]:
+            flag = "REGRESSED" if row["regressed"] else "ok"
+            print(f"  {row['arch']:12s} raw x{row['raw_speedup']:.2f} "
+                  f"normalized x{row['normalized_speedup']:.2f}  "
+                  f"[{flag}]")
+        if args.gate and not verdict["ok"]:
+            print("[bench] PERF GATE FAILED", file=sys.stderr)
+            return 1
+        if args.gate:
+            print("[bench] perf gate ok", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,12 @@ from collections import deque
 from typing import Deque, Generator, Optional
 
 from repro.engine.process import Block, Compute, SimProcess
-from repro.host.interrupts import HARDWARE, SOFTWARE, IntrTask
+from repro.host.interrupts import (
+    HARDWARE,
+    SOFTWARE,
+    IntrTask,
+    SimpleIntrTask,
+)
 from repro.net.ip import IPPROTO_ICMP, IPPROTO_TCP, IPPROTO_UDP, IpPacket
 from repro.net.packet import Frame
 from repro.core.stack_base import NetworkStack
@@ -51,8 +56,7 @@ class BsdStack(NetworkStack):
     def rx_interrupt(self, frame: Frame, ring_release) -> IntrTask:
         charge = self.kernel.accounting.interrupt_charger(self.kernel.cpu)
 
-        def body() -> Generator:
-            yield Compute(self.costs.hw_intr + self.costs.mbuf_alloc)
+        def action() -> None:
             ring_release()
             self.stats.incr("rx_packets")
             trace = self.sim.trace
@@ -82,7 +86,9 @@ class BsdStack(NetworkStack):
                 self.kernel.cpu.post(IntrTask(
                     self._softnet(), SOFTWARE, "softnet", charge))
 
-        return IntrTask(body(), HARDWARE, "nic-rx", charge)
+        return SimpleIntrTask(self.costs.hw_intr + self.costs.mbuf_alloc,
+                              HARDWARE, "nic-rx", action=action,
+                              charge=charge)
 
     def _softnet(self) -> Generator:
         """The software-interrupt drain loop (ipintr)."""

@@ -21,7 +21,12 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.engine.process import Block, Compute, SimProcess
-from repro.host.interrupts import HARDWARE, SOFTWARE, IntrTask
+from repro.host.interrupts import (
+    HARDWARE,
+    SOFTWARE,
+    IntrTask,
+    SimpleIntrTask,
+)
 from repro.net.checksum import verify_packet
 from repro.net.ip import IPPROTO_ICMP, IPPROTO_TCP, IPPROTO_UDP, IpPacket
 from repro.net.packet import Frame
@@ -50,8 +55,7 @@ class EarlyDemuxStack(LrpStackBase):
     def rx_interrupt(self, frame: Frame, ring_release) -> IntrTask:
         charge = self.kernel.accounting.interrupt_charger(self.kernel.cpu)
 
-        def hw_body() -> Generator:
-            yield Compute(self.costs.hw_intr + self.costs.soft_demux)
+        def hw_action() -> None:
             ring_release()
             self.stats.incr("rx_packets")
             trace = self.sim.trace
@@ -79,7 +83,9 @@ class EarlyDemuxStack(LrpStackBase):
                 self._eager_input(frame.packet), SOFTWARE,
                 "early-demux-input", charge))
 
-        return IntrTask(hw_body(), HARDWARE, "rx-demux", charge)
+        return SimpleIntrTask(self.costs.hw_intr + self.costs.soft_demux,
+                              HARDWARE, "rx-demux", action=hw_action,
+                              charge=charge)
 
     def _eager_input(self, packet: IpPacket) -> Generator:
         """Per-packet software interrupt: BSD processing minus the PCB

@@ -11,10 +11,7 @@ and its Figure 4 latency barely moves with background load.
 
 from __future__ import annotations
 
-from typing import Generator
-
-from repro.engine.process import Compute
-from repro.host.interrupts import HARDWARE, IntrTask
+from repro.host.interrupts import HARDWARE, IntrTask, SimpleIntrTask
 from repro.net.packet import Frame
 from repro.nic.channels import NiChannel
 from repro.nic.programmable import ProgrammableNic
@@ -52,8 +49,7 @@ class NiLrpStack(LrpStackBase):
         and wake the consumer."""
         charge = self.kernel.accounting.interrupt_charger(self.kernel.cpu)
 
-        def body() -> Generator:
-            yield Compute(self.costs.hw_intr)
+        def action() -> None:
             self.stats.incr("ni_wakeup_interrupts")
             # Route exactly as the soft variant does post-demux, but
             # the enqueue already happened on the NIC.
@@ -68,8 +64,10 @@ class NiLrpStack(LrpStackBase):
                 channel.interrupts_requested = False
                 self.kernel.wake_one(channel.wait_channel)
 
-        self.kernel.cpu.post(IntrTask(body(), HARDWARE, "ni-wakeup",
-                                      charge))
+        self.kernel.cpu.post(SimpleIntrTask(self.costs.hw_intr,
+                                            HARDWARE, "ni-wakeup",
+                                            action=action,
+                                            charge=charge))
 
     def post_tcp_work(self, sock: Socket, kind: str) -> None:
         self.app.notify(sock, kind)

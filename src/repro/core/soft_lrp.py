@@ -13,10 +13,7 @@ postponement is visible in Figure 3's gentle decline.
 
 from __future__ import annotations
 
-from typing import Generator
-
-from repro.engine.process import Compute
-from repro.host.interrupts import HARDWARE, IntrTask
+from repro.host.interrupts import HARDWARE, IntrTask, SimpleIntrTask
 from repro.net.packet import Frame
 from repro.core.lrp_base import LrpStackBase
 from repro.sockets.socket import Socket
@@ -31,8 +28,7 @@ class SoftLrpStack(LrpStackBase):
     def rx_interrupt(self, frame: Frame, ring_release) -> IntrTask:
         charge = self.kernel.accounting.interrupt_charger(self.kernel.cpu)
 
-        def body() -> Generator:
-            yield Compute(self.costs.hw_intr + self.costs.soft_demux)
+        def action() -> None:
             ring_release()
             self.stats.incr("rx_packets")
             trace = self.sim.trace
@@ -68,7 +64,9 @@ class SoftLrpStack(LrpStackBase):
                                 if not channel.processing_enabled
                                 else "early_discard"))
 
-        return IntrTask(body(), HARDWARE, "rx-demux", charge)
+        return SimpleIntrTask(self.costs.hw_intr + self.costs.soft_demux,
+                              HARDWARE, "rx-demux", action=action,
+                              charge=charge)
 
     def post_tcp_work(self, sock: Socket, kind: str) -> None:
         """TCP timers run in the APP process, at the receiver's

@@ -525,7 +525,7 @@ class NetworkStack:
         # LRP deallocates the NI channel as soon as the connection
         # enters TIME_WAIT (Section 4.2 discussion on scaling).
         self.endpoint_detached(sock)
-        self.sim.schedule(hold, self._time_wait_expired, sock)
+        self.sim.schedule_detached(hold, self._time_wait_expired, sock)
 
     def _time_wait_expired(self, sock: Socket) -> None:
         conn: TcpConnection = sock.pcb
@@ -652,8 +652,9 @@ class NetworkStack:
         listener.incomplete += 1
         self.endpoint_attached(child)
         self.listener_backlog_changed(listener)
-        self.sim.schedule(HANDSHAKE_TIMEOUT, self._handshake_expired,
-                          listener, child)
+        self.sim.schedule_detached(HANDSHAKE_TIMEOUT,
+                                   self._handshake_expired,
+                                   listener, child)
         actions = conn.passive_syn(seg, self.sim.now)
         yield from self.apply_tcp_actions(child, actions)
 
@@ -708,8 +709,8 @@ class NetworkStack:
             self.demux_table.clear_fragment_hint(whole.src, whole.ident)
         if self.reassembler.pending and not self._frag_expiry_armed:
             self._frag_expiry_armed = True
-            self.sim.schedule(self.reassembler.ttl_usec,
-                              self._frag_expire)
+            self.sim.schedule_detached(self.reassembler.ttl_usec,
+                                       self._frag_expire)
         return whole
 
     def _frag_expire(self) -> None:
@@ -723,8 +724,8 @@ class NetworkStack:
                 self.demux_table._frag_hints.pop(key, None)
         if self.reassembler.pending:
             self._frag_expiry_armed = True
-            self.sim.schedule(self.reassembler.ttl_usec,
-                              self._frag_expire)
+            self.sim.schedule_detached(self.reassembler.ttl_usec,
+                                       self._frag_expire)
 
     # ------------------------------------------------------------------
     # Introspection used by fault injection and stats reports

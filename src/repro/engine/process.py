@@ -199,6 +199,7 @@ class SimProcess:
         # Cache-locality model state (repro.host.cache).
         self.working_set_kb: float = 8.0
         self.cache_resident_kb: float = 0.0
+        self.cache_hot_kb: float = 8.0  # recomputed by CacheModel.register
 
         # Wait state.
         self.wait_channel: Optional[WaitChannel] = None

@@ -42,8 +42,17 @@ def run_point(arch: Architecture, rate_pps: float,
               window_usec: float = 1_000_000.0,
               payload_bytes: int = 14,
               seed: int = 1,
-              congestion: bool = True) -> Dict[str, float]:
-    """One (system, offered rate) measurement."""
+              congestion: bool = True,
+              probe=None) -> Dict[str, float]:
+    """One (system, offered rate) measurement.
+
+    *probe* is an optional
+    :class:`~repro.stats.timing.EventRateProbe`; when given, the run
+    is split into ``warmup`` and ``measure`` phases so the benchmark
+    harness can report per-phase engine events/sec.  The split is
+    behaviour-neutral: back-to-back ``run_until`` calls process the
+    identical event sequence.
+    """
     bed = Testbed(seed=seed,
                   congestion_knee_pps=(CONGESTION_KNEE_PPS
                                        if congestion else None))
@@ -65,7 +74,13 @@ def run_point(arch: Architecture, rate_pps: float,
     # the server program is long since running when the blast starts).
     bed.sim.schedule(50_000.0, injector.start, rate_pps)
     end = warmup_usec + window_usec
-    bed.run(end)
+    if probe is None:
+        bed.run(end)
+    else:
+        with probe.phase("warmup", bed.sim):
+            bed.run(warmup_usec)
+        with probe.phase("measure", bed.sim):
+            bed.run(end)
 
     delivered = sum(1 for t in delivered_stamps if t >= warmup_usec)
     stack = server.stack
@@ -88,6 +103,10 @@ def run_point(arch: Architecture, rate_pps: float,
         "drop_nic_fifo": getattr(server.nic, "rx_drops_fifo", 0),
         "drop_wire": bed.network.drops_congestion,
         "cpu_idle": server.kernel.cpu.idle_time,
+        # Engine events processed: deterministic for a given point, so
+        # it survives caching/parity, and lets the sweep runner and the
+        # bench harness report events/sec against wall-clock.
+        "events": bed.sim.events_processed,
     }
 
 

@@ -35,6 +35,13 @@ class Accounting:
             raise ValueError(f"unknown accounting policy {policy!r}")
         self.scheduler = scheduler
         self.policy = policy
+        # Resolved once: charge_interrupt runs per interrupt slice and
+        # must not re-compare policy strings every time.
+        self._bill_interrupted = policy == "interrupted"
+        self._bill_receiver = policy == "receiver"
+        # Receiver-less charger closures, one per CPU: rx interrupt
+        # paths request one per packet and they are all identical.
+        self._charger_cache: dict = {}
         self.system_time = 0.0          # interrupt time billed to nobody
         self.total_interrupt_time = 0.0
         self.total_process_time = 0.0
@@ -60,9 +67,9 @@ class Accounting:
         """Charge *usec* of interrupt-context CPU per the policy."""
         self.total_interrupt_time += usec
         victim: Optional[SimProcess] = None
-        if self.policy == "interrupted":
+        if self._bill_interrupted:
             victim = interrupted
-        elif self.policy == "receiver":
+        elif self._bill_receiver:
             victim = receiver if receiver is not None else interrupted
         if victim is None or not victim.alive:
             self.system_time += usec
@@ -80,8 +87,17 @@ class Accounting:
         which matches BSD: the bill lands on whoever held the CPU when
         the handler ran.
         """
+        if receiver is None:
+            cached = self._charger_cache.get(id(cpu))
+            if cached is not None:
+                return cached
+        charge_interrupt = self.charge_interrupt
 
         def charge(usec: float) -> None:
-            self.charge_interrupt(usec, cpu.interrupted_process(), receiver)
+            ctx = cpu.last_process_running
+            charge_interrupt(usec, ctx.proc if ctx is not None else None,
+                             receiver)
 
+        if receiver is None:
+            self._charger_cache[id(cpu)] = charge
         return charge

@@ -37,6 +37,9 @@ class CacheModel:
 
     def register(self, proc: SimProcess) -> None:
         proc.cache_resident_kb = 0.0
+        # working_set_kb is fixed at spawn time, so the hot-set bound
+        # is computed once here instead of per on_run/switch_penalty.
+        proc.cache_hot_kb = min(proc.working_set_kb, self.size_kb)
         self._procs.append(proc)
 
     def unregister(self, proc: SimProcess) -> None:
@@ -46,10 +49,13 @@ class CacheModel:
     # ------------------------------------------------------------------
     def on_run(self, proc: SimProcess, usec: float) -> None:
         """Account for *proc* touching its working set for *usec*."""
-        hot = min(proc.working_set_kb, self.size_kb)
+        hot = proc.cache_hot_kb
+        resident = proc.cache_resident_kb
+        if resident >= hot:
+            return  # fully warm: grow would equal resident, delta 0
         touched = min(hot, usec * self.costs.cache_touch_kb_per_usec)
-        grow = min(hot, proc.cache_resident_kb + touched)
-        delta = grow - proc.cache_resident_kb
+        grow = min(hot, resident + touched)
+        delta = grow - resident
         if delta > 0:
             proc.cache_resident_kb = grow
             self._evict(delta, exclude=proc)
@@ -69,19 +75,31 @@ class CacheModel:
 
     def switch_penalty(self, proc: SimProcess) -> float:
         """CPU microseconds needed to re-warm *proc*'s hot set."""
-        hot = min(proc.working_set_kb, self.size_kb)
-        missing = max(0.0, hot - proc.cache_resident_kb)
+        missing = proc.cache_hot_kb - proc.cache_resident_kb
+        if missing <= 0.0:
+            return 0.0
         penalty = missing * self.costs.cache_refill_per_kb
         self.total_refill_usec += penalty
         return penalty
 
     def _evict_direct(self, amount_kb: float) -> None:
         """Evict *amount_kb* from residents proportionally,
-        unconditionally."""
-        residents = [p for p in self._procs if p.cache_resident_kb > 0.0]
+        unconditionally.
+
+        Runs once per interrupt activation; the resident scan and the
+        pool sum are fused into one pass (same accumulation order, so
+        bit-identical results).
+        """
+        residents = []
+        append = residents.append
+        pool = 0.0
+        for p in self._procs:
+            kb = p.cache_resident_kb
+            if kb > 0.0:
+                append(p)
+                pool += kb
         if not residents:
             return
-        pool = sum(p.cache_resident_kb for p in residents)
         evict = min(amount_kb, pool)
         for p in residents:
             share = evict * (p.cache_resident_kb / pool)
@@ -91,18 +109,24 @@ class CacheModel:
     def _evict(self, amount_kb: float, exclude) -> None:
         """Evict *amount_kb*, spread over other residents, but only to
         the extent the cache is actually over-committed."""
-        residents = [p for p in self._procs
-                     if p is not exclude and p.cache_resident_kb > 0.0]
+        residents = []
+        append = residents.append
+        pool = 0.0
+        for p in self._procs:
+            if p is not exclude:
+                kb = p.cache_resident_kb
+                if kb > 0.0:
+                    append(p)
+                    pool += kb
         if not residents:
             return
-        total = sum(p.cache_resident_kb for p in residents)
+        total = pool
         if exclude is not None:
             total += exclude.cache_resident_kb
         overflow = total + amount_kb - self.size_kb
         evict = min(amount_kb, max(0.0, overflow))
         if evict <= 0:
             return
-        pool = sum(p.cache_resident_kb for p in residents)
         for p in residents:
             share = evict * (p.cache_resident_kb / pool)
             p.cache_resident_kb = max(0.0, p.cache_resident_kb - share)

@@ -51,6 +51,9 @@ class Cpu:
 
     def __init__(self, sim: Simulator, quantum: float = DEFAULT_QUANTUM):
         self.sim = sim
+        # sim.trace is fixed for the simulator's lifetime; cache it so
+        # the per-slice trace guards cost one attribute load, not two.
+        self._trace = sim.trace
         self.quantum = quantum
         self.process_source = None  # installed by the kernel
 
@@ -83,8 +86,9 @@ class Cpu:
     # ------------------------------------------------------------------
     def post(self, task: IntrTask) -> None:
         """Queue an interrupt task for execution."""
-        if self.sim.trace.enabled:
-            self.sim.trace.interrupt_raised(
+        trace = self._trace
+        if trace.enabled:
+            trace.interrupt_raised(
                 task.label, CLASS_NAMES[task.work_class])
         if task.work_class == HARDWARE:
             self._hw.append(task)
@@ -156,11 +160,26 @@ class Cpu:
             return
         self._dispatching = True
         try:
+            # The class probe and take are inlined (cf.
+            # _best_pending_class/_take_best, kept for introspection):
+            # this loop runs once per slice transition and is the
+            # hottest code in the host layer.
+            hw = self._hw
+            sw = self._sw
             while True:
                 self._redispatch = False
-                best = self._best_pending_class()
-                if self._current is not None:
-                    if best is not None and best < self._current.work_class:
+                source = self.process_source
+                if hw:
+                    best = HARDWARE
+                elif sw:
+                    best = SOFTWARE
+                elif source is not None and source.has_runnable():
+                    best = PROCESS
+                else:
+                    best = None
+                current = self._current
+                if current is not None:
+                    if best is not None and best < current.work_class:
                         self._checkpoint_current()
                         continue
                     return  # keep running the current slice
@@ -168,7 +187,12 @@ class Cpu:
                     self._note_idle()
                     return
                 self._note_busy()
-                ctx = self._take_best()
+                if hw:
+                    ctx = hw.popleft()
+                elif sw:
+                    ctx = sw.popleft()
+                else:
+                    ctx = source.take_next()
                 if ctx is None:
                     continue
                 duration = ctx.begin()
@@ -193,8 +217,9 @@ class Cpu:
     def _start_slice(self, ctx, duration: float) -> None:
         if ctx.work_class != PROCESS and not ctx.dispatched:
             ctx.dispatched = True
-            if self.sim.trace.enabled:
-                self.sim.trace.interrupt_dispatched(
+            trace = self._trace
+            if trace.enabled:
+                trace.interrupt_dispatched(
                     ctx.label, CLASS_NAMES[ctx.work_class])
         if ctx.work_class == PROCESS:
             self.last_process_running = ctx
@@ -204,9 +229,14 @@ class Cpu:
                 ctx.stint = 0.0
             duration = min(duration, remaining_quantum)
         self._current = ctx
-        self._slice_start = self.sim.now
+        sim = self.sim
+        self._slice_start = sim.now
         self._slice_len = duration
-        self._slice_event = self.sim.schedule(duration, self._on_slice_end)
+        # Direct queue push (sim.schedule minus the negative-delay
+        # guard): one slice end is scheduled per slice, making this
+        # the single hottest schedule call site in the simulator.
+        self._slice_event = sim._queue.push(sim.now + duration,
+                                            self._on_slice_end, ())
         self.slices += 1
 
     def _account_elapsed(self, elapsed: float) -> None:

@@ -106,16 +106,51 @@ class IntrTask:
                 f"pending={self.pending:.2f}>")
 
 
+class SimpleIntrTask(IntrTask):
+    """The common interrupt shape — one fixed-cost compute followed by
+    an instantaneous action — without generator machinery.
+
+    Most interrupt activations in the simulator (one per received
+    frame, per tick, per software interrupt) are this shape, and the
+    generator ``next()``/``StopIteration`` protocol was a measurable
+    share of their cost.  Behaviour is identical to the generator form
+    ``yield Compute(cost); action()``: the first :meth:`begin` returns
+    the cost, the :meth:`begin` after the compute is fully consumed
+    runs the action exactly once and reports completion.
+    """
+
+    __slots__ = ("cost", "action", "_started")
+
+    def __init__(self, cost: float, work_class: int, label: str,
+                 action: Optional[Callable[[], None]] = None,
+                 charge: Optional[Callable[[float], None]] = None):
+        super().__init__(None, work_class, label, charge)
+        self.cost = cost
+        self.action = action
+        self._started = False
+
+    def begin(self) -> Optional[float]:
+        if self.done:
+            return None
+        pending = self.pending
+        if pending > 0:
+            return pending
+        if not self._started:
+            self._started = True
+            cost = self.cost
+            if cost > 0:
+                self.pending = cost
+                return cost
+        if self.action is not None:
+            self.action()
+        self.done = True
+        return None
+
+
 def simple_task(cost: float, work_class: int, label: str,
                 action: Optional[Callable[[], None]] = None,
                 charge: Optional[Callable[[float], None]] = None) -> IntrTask:
-    """Build an :class:`IntrTask` that computes for *cost* then runs
+    """Build an interrupt task that computes for *cost* then runs
     *action* (an instantaneous effect such as queueing a packet)."""
-
-    def body() -> Iterator:
-        if cost > 0:
-            yield Compute(cost)
-        if action is not None:
-            action()
-
-    return IntrTask(body(), work_class, label, charge)
+    return SimpleIntrTask(cost, work_class, label,
+                          action=action, charge=charge)

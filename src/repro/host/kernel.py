@@ -129,7 +129,7 @@ class Kernel:
         self.stack = None
         self.nic = None
         if enable_ticks:
-            self.sim.schedule(TICK_USEC, self._hardclock)
+            self.sim.schedule_detached(TICK_USEC, self._hardclock)
 
     # ------------------------------------------------------------------
     # Process lifecycle
@@ -299,7 +299,7 @@ class Kernel:
             action=self._tick_body,
             charge=self.accounting.interrupt_charger(self.cpu))
         self.cpu.post(task)
-        self.sim.schedule(TICK_USEC, self._hardclock)
+        self.sim.schedule_detached(TICK_USEC, self._hardclock)
 
     def _tick_body(self) -> None:
         if self.ticks % DECAY_TICKS == 0:

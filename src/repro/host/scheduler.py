@@ -122,11 +122,21 @@ class Scheduler:
 
         This is the single point through which both legitimate process
         time and (under BSD accounting) interrupt time influence future
-        scheduling decisions.
+        scheduling decisions.  Called at least once per CPU slice, so
+        the priority formula is inlined (same arithmetic as
+        :func:`priority_for`).
         """
-        proc.estcpu = min(ESTCPU_MAX, proc.estcpu + usec / TICK_USEC)
+        estcpu = proc.estcpu + usec / TICK_USEC
+        if estcpu > ESTCPU_MAX:
+            estcpu = ESTCPU_MAX
+        proc.estcpu = estcpu
         if not proc.fixed_priority:
-            proc.usrpri = priority_for(proc.estcpu, proc.nice)
+            pri = PUSER + estcpu / 4.0 + 2.0 * proc.nice
+            if pri > PRI_MAX:
+                pri = PRI_MAX
+            elif pri < PRI_MIN:
+                pri = PRI_MIN
+            proc.usrpri = pri
 
     def decay_all(self) -> None:
         """Once-per-second ``schedcpu``: decay usage, refresh priority."""

@@ -22,6 +22,9 @@ class MbufPool:
     Figure 3 — our stats make the same check possible).
     """
 
+    #: Upper bound on recycled head buffers kept per pool.
+    FREELIST_LIMIT = 512
+
     def __init__(self, capacity: int = 4096):
         if capacity <= 0:
             raise ValueError("pool capacity must be positive")
@@ -34,6 +37,10 @@ class MbufPool:
         #: (see repro.faults): they count against availability without
         #: being allocated, shrinking the pool for its duration.
         self.fault_reserved = 0
+        # Recycled head Mbuf objects.  free_chain detaches the head
+        # from the freed chain, so a stale reference to the chain can
+        # never reach a buffer that has been handed to a new packet.
+        self._free_heads: list = []
 
     @property
     def available(self) -> int:
@@ -46,11 +53,17 @@ class MbufPool:
             self.exhaustions += 1
             raise MbufExhausted(
                 f"need {need} bufs, {self.available} free")
-        self.in_use += need
-        self.peak_in_use = max(self.peak_in_use, self.in_use)
+        in_use = self.in_use + need
+        self.in_use = in_use
+        if in_use > self.peak_in_use:
+            self.peak_in_use = in_use
         self.allocations += 1
-        head = Mbuf(MLEN)
-        head.length = min(nbytes, MLEN)
+        heads = self._free_heads
+        if heads:
+            head = heads.pop()
+        else:
+            head = Mbuf(MLEN)
+        head.length = nbytes if nbytes < MLEN else MLEN
         return MbufChain(head, need, nbytes, payload, self)
 
     def try_allocate(self, nbytes: int,
@@ -68,3 +81,10 @@ class MbufPool:
         if self.in_use < 0:
             raise AssertionError("mbuf pool double free")
         chain.count = 0
+        chain.payload = None
+        head = chain.head
+        if head is not None:
+            chain.head = None
+            heads = self._free_heads
+            if len(heads) < self.FREELIST_LIMIT:
+                heads.append(head)

@@ -131,8 +131,8 @@ class Network:
         self._rx_queued[dst_key] += 1
         rx_done = rx_start + tx_time
         self._rx_busy_until[dst_key] = rx_done
-        self.sim.schedule_at(rx_done, self._deliver, dst_key, dst_nic,
-                             frame)
+        self.sim.schedule_at_detached(rx_done, self._deliver, dst_key,
+                                      dst_nic, frame)
         if dup_frame is not None and \
                 self._rx_queued[dst_key] < self.port_queue_frames:
             # The duplicate trails the original through the same port.
@@ -140,8 +140,8 @@ class Network:
             dup_done = rx_done + tx_time
             self._rx_busy_until[dst_key] = dup_done
             self.dup_frames += 1
-            self.sim.schedule_at(dup_done, self._deliver, dst_key,
-                                 dst_nic, dup_frame)
+            self.sim.schedule_at_detached(dup_done, self._deliver,
+                                          dst_key, dst_nic, dup_frame)
         return True
 
     def _deliver(self, dst_key: int, dst_nic, frame: Frame) -> None:

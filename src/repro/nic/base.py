@@ -74,7 +74,7 @@ class BaseNic:
         self.tx_frames += 1
         self.network.send(frame, self.addr)
         tx_time = frame.wire_len * 8.0 / self.network.bandwidth
-        self.sim.schedule(tx_time, self._tx_next)
+        self.sim.schedule_detached(tx_time, self._tx_next)
 
     # ------------------------------------------------------------------
     # Receive side (implemented by subclasses)

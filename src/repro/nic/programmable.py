@@ -80,7 +80,8 @@ class ProgrammableNic(BaseNic):
         self._fifo.append(frame)
         start = max(self.sim.now, self._next_service)
         self._next_service = start + self.service_gap
-        self.sim.schedule_at(start + self.demux_cost, self._demux_one)
+        self.sim.schedule_at_detached(start + self.demux_cost,
+                                      self._demux_one)
 
     def _demux_one(self) -> None:
         """Firmware pipeline stage completion: classify one frame."""

@@ -401,7 +401,10 @@ class SweepRunner:
 
     def _log_point(self, fn, kwargs, point_label, digest, cached,
                    wall_sec, result, seq: int) -> None:
-        self.wallclock.record(point_label, wall_sec, cached=cached)
+        events = (result.get("events")
+                  if isinstance(result, dict) else None)
+        self.wallclock.record(point_label, wall_sec, cached=cached,
+                              events=events)
         self.points_log.append({
             "label": point_label,
             "fn": f"{fn.__module__}.{fn.__qualname__}",

@@ -73,7 +73,7 @@ class BurstyUdpBlaster:
         if not self._running:
             self._running = True
             self._burst_ends = self.sim.now + self.burst_usec
-            self.sim.schedule(self._gap, self._fire)
+            self.sim.schedule_detached(self._gap, self._fire)
 
     def stop(self) -> None:
         self._running = False
@@ -88,7 +88,7 @@ class BurstyUdpBlaster:
         if now >= self._burst_ends:
             # Burst over: go quiet, resume at the next burst boundary.
             self._burst_ends = now + self.idle_usec + self.burst_usec
-            self.sim.schedule(self.idle_usec + self._gap, self._fire)
+            self.sim.schedule_detached(self.idle_usec + self._gap, self._fire)
             return
         dgram = UdpDatagram(self.src_port, self.dst_port,
                             payload_len=self.payload_bytes,
@@ -97,7 +97,7 @@ class BurstyUdpBlaster:
                           dgram, dgram.total_len)
         self.port.send_packet(packet)
         self.sent += 1
-        self.sim.schedule(self._gap, self._fire)
+        self.sim.schedule_detached(self._gap, self._fire)
 
 
 def slow_client(server_addr, server_port: int,

@@ -71,7 +71,7 @@ class RawUdpInjector:
         self._gap = 1e6 / rate_pps
         if not self._running:
             self._running = True
-            self.sim.schedule(self._gap, self._fire)
+            self.sim.schedule_detached(self._gap, self._fire)
 
     def stop(self) -> None:
         self._running = False
@@ -89,7 +89,7 @@ class RawUdpInjector:
             packet.corrupt = True
         self.port.send_packet(packet)
         self.sent += 1
-        self.sim.schedule(self._gap, self._fire)
+        self.sim.schedule_detached(self._gap, self._fire)
 
 
 class RawSynInjector:
@@ -114,7 +114,7 @@ class RawSynInjector:
         self._gap = 1e6 / rate_pps
         if not self._running:
             self._running = True
-            self.sim.schedule(self._gap, self._fire)
+            self.sim.schedule_detached(self._gap, self._fire)
 
     def stop(self) -> None:
         self._running = False
@@ -128,4 +128,4 @@ class RawSynInjector:
                           seg, seg.total_len)
         self.port.send_packet(packet)
         self.sent += 1
-        self.sim.schedule(self._gap, self._fire)
+        self.sim.schedule_detached(self._gap, self._fire)

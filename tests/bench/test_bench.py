@@ -1,0 +1,171 @@
+"""Tests for the microbenchmark subsystem (``repro.bench``).
+
+The benchmarks themselves are timing-dependent; what is pinned here is
+everything *around* the timing: registry integrity, payload schema,
+deterministic work sizes, the machine-normalized gate arithmetic, and
+the CLI surface the CI job drives.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCHMARKS,
+    DEFAULT_GATE_THRESHOLD,
+    compare_results,
+    load_payload,
+    run_benchmarks,
+    write_payload,
+)
+from repro.bench.__main__ import main as bench_main
+from repro.bench.calibrate import calibration_kops
+
+
+def _payload(per_arch, kops=1000.0):
+    """A minimal BENCH payload with the fields the gate reads."""
+    return {
+        "schema": 1,
+        "mode": "quick",
+        "calibration_kops_per_sec": kops,
+        "results": {"figure3_point": {"per_arch": {
+            arch: dict(row) for arch, row in per_arch.items()}}},
+    }
+
+
+class TestGateArithmetic:
+    def test_equal_runs_pass(self):
+        rows = {"4.4BSD": {"events_per_sec": 50_000.0}}
+        verdict = compare_results(_payload(rows), _payload(rows))
+        assert verdict["ok"] is True
+        assert verdict["rows"][0]["normalized_speedup"] == 1.0
+        assert verdict["rows"][0]["raw_speedup"] == 1.0
+
+    def test_regression_beyond_threshold_fails(self):
+        new = _payload({"4.4BSD": {"events_per_sec": 70_000.0}})
+        old = _payload({"4.4BSD": {"events_per_sec": 100_000.0}})
+        verdict = compare_results(new, old)
+        assert verdict["ok"] is False
+        assert verdict["rows"][0]["regressed"] is True
+
+    def test_machine_speed_change_is_normalized_away(self):
+        """Half the raw events/sec on a machine measuring half the
+        calibration score is NOT a regression."""
+        new = _payload({"4.4BSD": {"events_per_sec": 50_000.0}},
+                       kops=500.0)
+        old = _payload({"4.4BSD": {"events_per_sec": 100_000.0}},
+                       kops=1000.0)
+        verdict = compare_results(new, old)
+        assert verdict["ok"] is True
+        assert verdict["rows"][0]["normalized_speedup"] == 1.0
+        assert verdict["rows"][0]["raw_speedup"] == 0.5
+
+    def test_per_arch_calibration_sample_preferred(self):
+        """A per-architecture calibration sample (taken right before
+        that arch ran) overrides the payload-level score."""
+        new = _payload({"4.4BSD": {"events_per_sec": 50_000.0,
+                                   "calibration_kops_per_sec": 500.0}},
+                       kops=1000.0)
+        old = _payload({"4.4BSD": {"events_per_sec": 100_000.0,
+                                   "calibration_kops_per_sec": 1000.0}})
+        verdict = compare_results(new, old)
+        assert verdict["ok"] is True
+        assert verdict["rows"][0]["normalized_speedup"] == 1.0
+
+    def test_threshold_is_configurable(self):
+        new = _payload({"4.4BSD": {"events_per_sec": 90_000.0}})
+        old = _payload({"4.4BSD": {"events_per_sec": 100_000.0}})
+        assert compare_results(new, old, threshold=0.05)["ok"] is False
+        assert compare_results(new, old, threshold=0.20)["ok"] is True
+        assert 0.0 < DEFAULT_GATE_THRESHOLD < 1.0
+
+    def test_new_architecture_in_baseline_is_ignored(self):
+        new = _payload({"4.4BSD": {"events_per_sec": 100.0}})
+        old = _payload({"4.4BSD": {"events_per_sec": 100.0},
+                        "NI-LRP": {"events_per_sec": 100.0}})
+        verdict = compare_results(new, old)
+        assert [r["arch"] for r in verdict["rows"]] == ["4.4BSD"]
+
+
+class TestSuite:
+    def test_registry_names(self):
+        assert set(BENCHMARKS) == {
+            "event_queue", "event_queue_cancel", "mbuf_pool",
+            "packet_roundtrip", "figure3_point"}
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            run_benchmarks(only=["no_such_bench"])
+
+    def test_quick_micro_run_payload_schema(self, tmp_path, capsys):
+        payload = run_benchmarks(quick=True,
+                                 only=["event_queue",
+                                       "event_queue_cancel",
+                                       "mbuf_pool"])
+        assert payload["schema"] == 1
+        assert payload["mode"] == "quick"
+        assert payload["calibration_kops_per_sec"] > 0
+        queue_row = payload["results"]["event_queue"]
+        assert queue_row["events"] == 20_000
+        assert queue_row["ops_per_sec"] > 0
+        cancel_row = payload["results"]["event_queue_cancel"]
+        assert cancel_row["cancelled"] == 10_000
+        mbuf_row = payload["results"]["mbuf_pool"]
+        assert mbuf_row["allocs"] == 20_000
+        # Round-trips through the payload file intact.
+        path = tmp_path / "BENCH_quick.json"
+        write_payload(payload, str(path))
+        assert load_payload(str(path)) == payload
+
+    def test_calibration_returns_positive_kops(self):
+        assert calibration_kops(repeats=1) > 0
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert bench_main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "figure3_point" in out
+
+    def test_run_writes_output_and_gates(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = bench_main(["--quick", "--only", "event_queue",
+                         "--output", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert "event_queue" in payload["results"]
+
+    def test_gate_fails_on_regression(self, tmp_path, capsys,
+                                      monkeypatch):
+        """Drive the real CLI gate path with stubbed measurements: a
+        3x normalized regression must exit 1, a clean run exit 0."""
+        import repro.bench as bench_pkg
+
+        def fake_run(quick=False, only=None, stream=None):
+            return _payload(
+                {"4.4BSD": {"events_per_sec": 30_000.0,
+                            "events": 1, "wall_sec": 1.0}},
+                kops=1000.0) | {"results": {"figure3_point": {
+                    "rate_pps": 12_000,
+                    "per_arch": {"4.4BSD": {
+                        "events_per_sec": 30_000.0,
+                        "events": 1, "wall_sec": 1.0}}}},
+                    "mode": "quick"}
+
+        monkeypatch.setattr("repro.bench.__main__.run_benchmarks",
+                            fake_run)
+        baseline = tmp_path / "base.json"
+        bench_pkg.write_payload(
+            _payload({"4.4BSD": {"events_per_sec": 100_000.0,
+                                 "events": 1, "wall_sec": 1.0}},
+                     kops=1000.0), str(baseline))
+        out = tmp_path / "new.json"
+        rc = bench_main(["--quick", "--output", str(out),
+                         "--baseline", str(baseline), "--gate"])
+        assert rc == 1
+        assert "PERF GATE FAILED" in capsys.readouterr().err
+        # Same numbers as baseline: the gate passes.
+        bench_pkg.write_payload(fake_run(), str(baseline))
+        rc = bench_main(["--quick", "--output", str(out),
+                         "--baseline", str(baseline), "--gate"])
+        assert rc == 0
