@@ -12,24 +12,30 @@ running a local application.  A flood of transit packets arrives:
   and its nice value caps how much of the machine forwarding may
   consume, so the local application keeps its share.
 
+The gateway sits between two switched subnets — a real multi-hop
+:class:`~repro.net.topology.TopologySpec` graph, not a flat LAN —
+so transit packets cross edge switch, gateway, and core switch on the
+way to the backend.
+
 Run:  python examples/lrp_gateway.py
 """
 
 from repro.engine import Compute, Simulator, Syscall
-from repro.net.link import Network
+from repro.net.topology import gateway_chain_spec
 from repro.core import Architecture, build_host
 from repro.core.forwarding import build_gateway
 from repro.workloads import RawUdpInjector
-from repro.net.addr import IPAddr
-from repro.net.packet import Frame
 
+CLIENT = "10.0.0.77"
 GW_A, GW_B = "10.0.0.254", "10.0.1.254"
 RIGHT = "10.0.1.2"
 
 
 def run(arch: Architecture, flood_pps: float, daemon_nice: int = 0):
     sim = Simulator(seed=13)
-    net = Network(sim)
+    net = gateway_chain_spec(client_addr=CLIENT, gw_addr_a=GW_A,
+                             gw_addr_b=GW_B,
+                             backend_addr=RIGHT).build(sim)
     gateway, daemon = build_gateway(sim, net, GW_A, GW_B, arch,
                                     nice=daemon_nice)
     right = build_host(sim, net, RIGHT, Architecture.BSD)
@@ -51,16 +57,8 @@ def run(arch: Architecture, flood_pps: float, daemon_nice: int = 0):
     right.spawn("sink", sink())
     app = gateway.spawn("local-app", local_app())
 
-    injector = RawUdpInjector(sim, net, "10.0.0.77", RIGHT, 9000)
-    original_network = injector.port.network
-
-    def routed(packet, vci=None):
-        packet.stamp = sim.now
-        return original_network.send(
-            Frame(packet, vci=vci, link_dst=IPAddr(GW_A)),
-            injector.port.addr)
-
-    injector.port.send_packet = routed
+    injector = RawUdpInjector(sim, net, CLIENT, RIGHT, 9000,
+                              next_hop=GW_A)
     sim.schedule(20_000.0, injector.start, flood_pps)
     sim.run_until(1_000_000.0)
 

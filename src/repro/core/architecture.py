@@ -48,6 +48,9 @@ class Host:
         self.nic = nic
         self.stack = stack
         self.addr = addr
+        #: Registry name; filled by :func:`build_host` when the host
+        #: joins its simulator's ``hosts`` world.
+        self.name = kernel.name
 
     @property
     def sim(self) -> Simulator:
@@ -57,7 +60,7 @@ class Host:
         return self.kernel.spawn(name, main, **kwargs)
 
     def __repr__(self) -> str:  # pragma: no cover
-        return f"<Host {self.addr} {self.stack.arch_name}>"
+        return f"<Host {self.name} {self.addr} {self.stack.arch_name}>"
 
 
 def build_host(sim: Simulator, network: Network, addr,
@@ -92,6 +95,7 @@ def build_host(sim: Simulator, network: Network, addr,
         stack = stack_cls(kernel, nic, addr, **stack_kwargs)
     kernel.nic = nic
     host = Host(kernel, nic, stack, addr)
+    host.name = sim.register_host(kernel.name, host)
     if fault_plane is not None:
         fault_plane.attach_host(host)
     return host

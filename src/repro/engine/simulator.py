@@ -22,7 +22,7 @@ import hashlib
 import random
 from heapq import heappop
 from sys import getrefcount
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.engine.event import _POOL_LIMIT, Event, EventQueue, _noop
 from repro.trace.tracer import (
@@ -66,12 +66,43 @@ class Simulator:
         self._queue = EventQueue()
         self._running = False
         self.events_processed = 0
+        #: The simulated machines living in this world, by name.  The
+        #: engine itself never reads this — it exists so host-plural
+        #: scenarios (multi-host topologies, gateway chains, incast
+        #: racks) have one authoritative registry, and so tools can
+        #: enumerate a simulation's machines without threading every
+        #: host handle through every call site.
+        self.hosts: Dict[str, Any] = {}
         if tracer is None:
             tracer = get_default_tracer()
         if tracer is None:
             tracer = NULL_TRACER
         self.trace = tracer
         tracer.attach(self)
+
+    # ------------------------------------------------------------------
+    # Hosts
+    # ------------------------------------------------------------------
+    def register_host(self, name: str, host: Any) -> str:
+        """Register a simulated machine under *name*.
+
+        Returns the name actually used: collisions get a ``#n``
+        suffix so two worlds (or two NICs of one multi-homed box)
+        never silently shadow each other.  Registration is pure
+        bookkeeping — it schedules nothing and draws no randomness,
+        so it cannot perturb event order or golden traces.
+        """
+        unique = name
+        n = 2
+        while unique in self.hosts:
+            unique = f"{name}#{n}"
+            n += 1
+        self.hosts[unique] = host
+        return unique
+
+    def host(self, name: str) -> Any:
+        """Look up a registered host by name (KeyError if absent)."""
+        return self.hosts[name]
 
     # ------------------------------------------------------------------
     # Randomness

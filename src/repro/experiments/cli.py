@@ -27,6 +27,7 @@ from repro.runner import ResultCache, SweepRunner, default_cache_dir
 from repro.trace import Tracer, set_default_tracer
 from repro.experiments import (
     ablations,
+    cluster,
     degradation,
     figure3,
     figure4,
@@ -45,6 +46,7 @@ EXPERIMENT_MODULES = {
     "ablations": ablations,
     "sensitivity": sensitivity,
     "degradation": degradation,
+    "cluster": cluster,
 }
 
 EXPERIMENTS = {name: module.main

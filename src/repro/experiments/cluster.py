@@ -1,0 +1,350 @@
+"""Cluster: multi-host switched topologies under incast and transit load.
+
+The paper evaluates one server on one link; its central claims —
+stability under overload, traffic separation, livelock avoidance —
+matter most where receiver overload propagates *between* machines.
+This experiment family puts the architectures into two canonical
+multi-host scenarios built on :mod:`repro.net.topology`:
+
+* **N→1 incast** — *fan_in* clients blast one server through a shared
+  switch, the datacenter pattern.  Swept over client fan-in ×
+  architecture at a fixed per-client rate, each point reports end-to-
+  end goodput, the one-way latency tail, and the drop ledger at every
+  hop (switch output queue, NIC ring, NI channel / socket queue).  The
+  paper's Figure-3 story replays at cluster scale: 4.4BSD's goodput
+  collapses as aggregate arrivals push it into livelock, while
+  SOFT-LRP and NI-LRP shed excess at the demux point and hold their
+  plateau.
+* **Gateway chain** — a two-interface IP gateway
+  (:func:`repro.core.forwarding.build_gateway`, Sections 2.3/3.5)
+  routes a transit flood from an edge subnet to a backend server
+  across two switches, while also running a local application.  Under
+  4.4BSD the gateway forwards in software-interrupt context and the
+  local app starves; under LRP the forwarding daemon pays for the
+  transit work at process priority.  Each point reports per-hop
+  goodput (offered → forwarded → delivered), the local app's CPU
+  share, and the daemon's bill.
+
+Both scenarios take their graph as an explicit
+:class:`~repro.net.topology.TopologySpec` parameter, so sweep points
+are cached under a key that includes topology identity (see
+``repro.runner.cache``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import Architecture
+from repro.core.forwarding import build_gateway
+from repro.engine.process import Compute
+from repro.net.topology import (
+    TopologySpec,
+    gateway_chain_spec,
+    incast_spec,
+)
+from repro.runner import SweepRunner
+from repro.apps import udp_blast_sink
+from repro.stats.metrics import LatencyRecorder
+from repro.stats.report import format_series, format_table
+from repro.workloads import RawUdpInjector
+from repro.experiments.common import MAIN_SYSTEMS, Testbed
+
+#: Canonical addresses of the incast rack.
+INCAST_SERVER_ADDR = "10.0.0.1"
+INCAST_CLIENT_BASE = 10
+INCAST_PORT = 9000
+
+#: Canonical addresses of the gateway chain (the spec's defaults).
+CHAIN_CLIENT_ADDR = "10.0.0.2"
+CHAIN_GW_A = "10.0.0.254"
+CHAIN_GW_B = "10.0.1.254"
+CHAIN_BACKEND_ADDR = "10.0.1.1"
+CHAIN_PORT = 9000
+
+#: Per-client offered rate for the incast sweep: modest alone, deep
+#: into 4.4BSD's livelock regime at max fan-in (4.4BSD delivers the
+#: full aggregate through fan-in 2, collapses at 3, and hits zero at
+#: 4, while the LRP pair plateau at their MLFRR).
+INCAST_RATE_PPS = 4000.0
+DEFAULT_FAN_INS = (1, 2, 3, 4)
+DEFAULT_CHAIN_RATES = (2_000.0, 8_000.0, 14_000.0)
+
+
+def _num(value: float, digits: int = 1) -> Optional[float]:
+    """NaN-free numeric for JSON-strict results."""
+    if value != value:
+        return None
+    return round(value, digits)
+
+
+# ----------------------------------------------------------------------
+# N -> 1 incast
+# ----------------------------------------------------------------------
+def run_incast_point(arch: Architecture, fan_in: int,
+                     rate_pps: float = INCAST_RATE_PPS,
+                     duration_usec: float = 1_000_000.0,
+                     warmup_usec: float = 200_000.0,
+                     seed: int = 5,
+                     topology: Optional[TopologySpec] = None) -> Dict:
+    """One (architecture, fan-in) incast measurement."""
+    arch = Architecture(arch)
+    spec = topology if topology is not None else incast_spec(fan_in)
+    bed = Testbed(seed=seed, topology=spec)
+    server = bed.add_host(INCAST_SERVER_ADDR, arch, name="server")
+
+    recorder = LatencyRecorder()
+
+    def on_rx(stamp, dgram):
+        recorder.record(bed.sim.now - stamp, now=bed.sim.now)
+
+    server.spawn("incast-sink",
+                 udp_blast_sink(INCAST_PORT, on_receive=on_rx))
+
+    injectors = []
+    for i in range(fan_in):
+        injector = RawUdpInjector(
+            bed.sim, bed.network, f"10.0.0.{INCAST_CLIENT_BASE + i}",
+            INCAST_SERVER_ADDR, INCAST_PORT, src_port=20000 + i)
+        injectors.append(injector)
+        # Staggered starts de-phase the per-client packet trains, as
+        # independent client machines would be.
+        bed.sim.schedule(10_000.0 + 137.0 * i, injector.start,
+                         rate_pps)
+    bed.run(duration_usec)
+
+    window = duration_usec - warmup_usec
+    delivered = recorder.samples_since(warmup_usec)
+    tail = LatencyRecorder()
+    for sample in delivered:
+        tail.record(sample)
+
+    stack = server.stack
+    stats = stack.stats
+    # The channels' own counters cover every early discard (SOFT-LRP's
+    # ``drop_channel_early`` stat annotates the same events).
+    channel_drops = sum(ch.total_discards()
+                       for ch in stack.iter_channels())
+    topo = bed.network
+    return {
+        "fan_in": fan_in,
+        "offered_pps": fan_in * rate_pps,
+        "goodput_pps": _num(len(delivered) * 1e6 / window),
+        "latency_p50_usec": _num(tail.percentile(50.0)),
+        "latency_p99_usec": _num(tail.percentile(99.0)),
+        "sent": sum(inj.sent for inj in injectors),
+        # The drop ledger, hop by hop.
+        "drop_switch": topo.drops_port_queue + topo.drops_red,
+        "drop_nic_ring": server.nic.rx_drops_ring,
+        "drop_ipq": stats.get("drop_ipq"),
+        "drop_channel": channel_drops,
+        "drop_sockq": (stats.get("drop_sockq")
+                       + stats.get("drop_early_sockq_full")),
+        "drop_mbufs": stats.get("drop_mbufs"),
+        "switch_peak_depth": max(
+            (port["peak_depth"]
+             for sw in topo.hop_stats().values()
+             for port in sw.values()), default=0),
+        "cpu_idle": _num(server.kernel.cpu.idle_time),
+        "events": bed.sim.events_processed,
+    }
+
+
+# ----------------------------------------------------------------------
+# Gateway -> backend chain
+# ----------------------------------------------------------------------
+def run_chain_point(arch: Architecture, flood_pps: float,
+                    daemon_nice: int = 0,
+                    duration_usec: float = 1_000_000.0,
+                    warmup_usec: float = 200_000.0,
+                    seed: int = 11,
+                    topology: Optional[TopologySpec] = None) -> Dict:
+    """One (gateway architecture, transit rate) chain measurement.
+
+    The gateway runs *arch* plus a local compute-bound application;
+    the backend runs SOFT-LRP so the far end never confounds the
+    gateway comparison.
+    """
+    arch = Architecture(arch)
+    spec = topology if topology is not None else gateway_chain_spec()
+    bed = Testbed(seed=seed, topology=spec)
+    gateway, daemon = build_gateway(
+        bed.sim, bed.network, CHAIN_GW_A, CHAIN_GW_B, arch,
+        nice=daemon_nice, costs=bed.costs)
+    bed.adopt(gateway)
+    backend = bed.add_host(CHAIN_BACKEND_ADDR, Architecture.SOFT_LRP,
+                           name="backend")
+
+    recorder = LatencyRecorder()
+
+    def on_rx(stamp, dgram):
+        recorder.record(bed.sim.now - stamp, now=bed.sim.now)
+
+    backend.spawn("chain-sink",
+                  udp_blast_sink(CHAIN_PORT, on_receive=on_rx))
+
+    progress = [0]
+
+    def local_app():
+        while True:
+            yield Compute(1_000.0)
+            progress[0] += 1
+
+    app = gateway.spawn("local-app", local_app())
+
+    injector = RawUdpInjector(bed.sim, bed.network, CHAIN_CLIENT_ADDR,
+                              CHAIN_BACKEND_ADDR, CHAIN_PORT,
+                              next_hop=CHAIN_GW_A)
+    bed.sim.schedule(10_000.0, injector.start, flood_pps)
+    bed.run(duration_usec)
+
+    window = duration_usec - warmup_usec
+    delivered = recorder.samples_since(warmup_usec)
+    tail = LatencyRecorder()
+    for sample in delivered:
+        tail.record(sample)
+
+    forwarded = gateway.stack.stats.get("ip_forwarded")
+    return {
+        "flood_pps": flood_pps,
+        "daemon_nice": daemon_nice,
+        # Goodput at each hop of the chain.
+        "offered_pps": flood_pps,
+        "forwarded_pps": _num(forwarded * 1e6 / bed.sim.now),
+        "delivered_pps": _num(len(delivered) * 1e6 / window),
+        "latency_p50_usec": _num(tail.percentile(50.0)),
+        "latency_p99_usec": _num(tail.percentile(99.0)),
+        "app_share": _num(progress[0] * 1_000.0 / duration_usec, 3),
+        "app_interrupt_bill_ms": _num(app.intr_time_charged / 1e3),
+        "daemon_cpu_ms": (None if daemon is None
+                          else _num(daemon.proc.cpu_time / 1e3)),
+        "fwd_channel_drops": (0 if daemon is None
+                              else daemon.channel.total_discards()),
+        "drop_switch": (bed.network.drops_port_queue
+                        + bed.network.drops_red),
+        "events": bed.sim.events_processed,
+    }
+
+
+# ----------------------------------------------------------------------
+def run_experiment(
+        fan_ins: Sequence[int] = DEFAULT_FAN_INS,
+        rate_pps: float = INCAST_RATE_PPS,
+        chain_rates: Sequence[float] = DEFAULT_CHAIN_RATES,
+        systems: Sequence[Architecture] = MAIN_SYSTEMS,
+        duration_usec: float = 1_000_000.0,
+        runner: Optional[SweepRunner] = None) -> Dict:
+    """The full cluster sweep: incast fan-in × architecture, then the
+    gateway chain over transit rates."""
+    runner = runner or SweepRunner()
+
+    incast_grid = [(arch, n) for arch in systems for n in fan_ins]
+    incast_points = runner.map(
+        run_incast_point,
+        [dict(arch=arch, fan_in=n, rate_pps=rate_pps,
+              duration_usec=duration_usec,
+              topology=incast_spec(n))
+         for arch, n in incast_grid],
+        label="cluster-incast")
+
+    chain_grid = [(arch, r) for arch in systems for r in chain_rates]
+    chain_points = runner.map(
+        run_chain_point,
+        [dict(arch=arch, flood_pps=r, duration_usec=duration_usec,
+              topology=gateway_chain_spec())
+         for arch, r in chain_grid],
+        label="cluster-chain")
+
+    goodput: Dict[str, List[Tuple[float, float]]] = {}
+    p99: Dict[str, List[Tuple[float, float]]] = {}
+    for j, arch in enumerate(systems):
+        pts = incast_points[j * len(fan_ins):(j + 1) * len(fan_ins)]
+        goodput[arch.value] = [(p["fan_in"], p["goodput_pps"])
+                               for p in pts]
+        p99[arch.value] = [(p["fan_in"], p["latency_p99_usec"])
+                           for p in pts]
+
+    incast_rows = [{"system": arch.value, **point}
+                   for (arch, _), point in zip(incast_grid,
+                                               incast_points)]
+    chain_rows = [{"system": arch.value, **point}
+                  for (arch, _), point in zip(chain_grid, chain_points)]
+
+    # The headline ratio: LRP goodput over BSD's at maximum fan-in.
+    max_fan = max(fan_ins)
+    at_max = {row["system"]: row["goodput_pps"]
+              for row in incast_rows if row["fan_in"] == max_fan}
+    bsd = at_max.get(Architecture.BSD.value)
+    ratios = {}
+    for name, value in at_max.items():
+        if name == Architecture.BSD.value or value is None:
+            continue
+        if bsd:
+            ratios[name] = _num(value / bsd, 2)
+        else:
+            # BSD collapsed to zero goodput: any survivor's ratio is
+            # unbounded.
+            ratios[name] = float("inf") if value > 0 else None
+
+    return {"goodput": goodput, "p99": p99,
+            "incast_rows": incast_rows, "chain_rows": chain_rows,
+            "max_fan_in": max_fan, "goodput_vs_bsd": ratios}
+
+
+def report(result: Dict) -> str:
+    out = [format_series(
+        "Cluster incast: goodput vs. client fan-in "
+        f"(per-client {INCAST_RATE_PPS:.0f} pkts/sec)",
+        "fan-in", "pps", result["goodput"])]
+    out.append("")
+    out.append(format_series(
+        "Cluster incast: one-way latency p99", "fan-in", "p99 us",
+        result["p99"]))
+
+    out.append("\n== Incast drop ledger per hop ==")
+    rows = [(r["system"], r["fan_in"], int(r["offered_pps"]),
+             r["goodput_pps"], r["drop_switch"], r["drop_nic_ring"],
+             r["drop_ipq"], r["drop_channel"], r["drop_sockq"],
+             r["switch_peak_depth"])
+            for r in result["incast_rows"]]
+    out.append(format_table(
+        ("system", "fan-in", "offered", "goodput", "switch", "ring",
+         "ipq", "channel", "sockq", "sw depth"), rows))
+
+    ratios = ", ".join(f"{name}: {value}x"
+                       for name, value in
+                       sorted(result["goodput_vs_bsd"].items()))
+    out.append(f"\nGoodput vs. 4.4BSD at fan-in "
+               f"{result['max_fan_in']}: {ratios}")
+
+    out.append("\n== Gateway chain: offered -> forwarded -> "
+               "delivered ==")
+    rows = [(r["system"], int(r["flood_pps"]), r["forwarded_pps"],
+             r["delivered_pps"],
+             "-" if r["app_share"] is None
+             else f"{100 * r['app_share']:.1f}%",
+             r["app_interrupt_bill_ms"],
+             "-" if r["daemon_cpu_ms"] is None else r["daemon_cpu_ms"])
+            for r in result["chain_rows"]]
+    out.append(format_table(
+        ("gateway", "offered", "fwd pps", "delivered", "app share",
+         "intr bill ms", "daemon ms"), rows))
+    return "\n".join(out)
+
+
+def main(fast: bool = False,
+         runner: Optional[SweepRunner] = None) -> str:
+    fan_ins = (1, 4) if fast else DEFAULT_FAN_INS
+    chain_rates = (2_000.0, 14_000.0) if fast \
+        else DEFAULT_CHAIN_RATES
+    duration = 500_000.0 if fast else 1_000_000.0
+    text = report(run_experiment(fan_ins=fan_ins,
+                                 chain_rates=chain_rates,
+                                 duration_usec=duration,
+                                 runner=runner))
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,10 @@ cache key is a SHA-256 digest over
 * the full parameter binding, with signature defaults applied (so
   ``run_point(arch, 4000)`` and ``run_point(arch, 4000, seed=1)`` hit
   the same entry when 1 is the default seed);
+* the bound topology spec, explicitly (multi-host points that differ
+  only in their graph — links, switch policies, queue depths,
+  bindings — can never collide, even when the topology arrives via a
+  signature default);
 * the package version (:data:`repro.__version__`).
 
 Entries are JSON files under ``<root>/<key[:2]>/<key>.json`` — one
@@ -102,6 +106,21 @@ def bind_full_kwargs(fn: Callable, kwargs: Dict[str, Any]) -> Dict[str, Any]:
     return dict(bound.arguments)
 
 
+def topology_identity(kwargs: Dict[str, Any]) -> Optional[str]:
+    """The name of the topology bound in a point's parameters, if any.
+
+    Multi-host points take a ``topology``
+    :class:`~repro.net.topology.TopologySpec`; its ``name`` is the
+    human-readable identity recorded in sweep logs.  (The full spec —
+    every link, switch policy and binding — is canonicalized into the
+    cache key separately; the name alone would under-key.)
+    """
+    topology = kwargs.get("topology")
+    if topology is None:
+        return None
+    return getattr(topology, "name", None)
+
+
 def point_digest(fn: Callable, kwargs: Dict[str, Any],
                  costs: Optional[CostModel] = None) -> str:
     """The content address of one sweep point (SHA-256 hex digest)."""
@@ -116,6 +135,12 @@ def point_digest(fn: Callable, kwargs: Dict[str, Any],
         "version": repro.__version__,
         "costs": canonicalize(costs),
         "params": canonicalize(full),
+        # Topology identity, explicit: the *full* spec after defaults,
+        # so two points differing only in their graph (links, queue
+        # depths, drop policy, bindings) can never collide, and a
+        # point function whose default topology changes shape is
+        # invalidated even though the caller's kwargs look identical.
+        "topology": canonicalize(full.get("topology")),
     }
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode()).hexdigest()

@@ -42,7 +42,12 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO, Tuple
 
-from repro.runner.cache import ResultCache, canonicalize, point_digest
+from repro.runner.cache import (
+    ResultCache,
+    canonicalize,
+    point_digest,
+    topology_identity,
+)
 from repro.runner.progress import ProgressReporter
 from repro.stats.timing import WallClock
 from repro.trace import get_default_tracer
@@ -376,6 +381,7 @@ class SweepRunner:
             "label": point_label,
             "fn": f"{fn.__module__}.{fn.__qualname__}",
             "digest": digest,
+            "topology": topology_identity(kwargs),
             "params": canonicalize(kwargs),
             "cached": False,
             "wall_clock_sec": round(wall_sec, 6),
@@ -409,6 +415,7 @@ class SweepRunner:
             "label": point_label,
             "fn": f"{fn.__module__}.{fn.__qualname__}",
             "digest": digest,
+            "topology": topology_identity(kwargs),
             "params": canonicalize(kwargs),
             "cached": cached,
             "wall_clock_sec": round(wall_sec, 6),

@@ -26,6 +26,8 @@ from repro.trace.tracer import Tracer
 #: Version tag stored in golden files; bump when the workload itself
 #: (not the traced code) changes shape.
 WORKLOAD = "golden-v1"
+#: Tag for the multi-host (switched topology) workloads.
+WORKLOAD_CLUSTER = "cluster-v1"
 
 #: Seed for the canonical runs.
 GOLDEN_SEED = 42
@@ -41,8 +43,19 @@ TCP_BYTES = 4096
 #: :class:`~repro.faults.plan.FaultPlan` (link loss + bit corruption),
 #: pinning the fault plane's event order — injection points, checksum
 #: drops, and TCP loss recovery — into the regression surface.
+#: Multi-host keys: canonical switched-topology workloads (an incast
+#: rack and a gateway chain) whose digests pin the topology layer's
+#: event order — switch enqueues, output-queue drops, per-hop delays —
+#: alongside the stacks'.
+CLUSTER_KEYS = ("cluster-incast", "cluster-chain")
+
 GOLDEN_ARCHES = ("bsd", "soft-lrp", "ni-lrp",
-                 "bsd-faults", "soft-lrp-faults", "ni-lrp-faults")
+                 "bsd-faults", "soft-lrp-faults", "ni-lrp-faults") \
+    + CLUSTER_KEYS
+
+
+def workload_of(arch_key: str) -> str:
+    return WORKLOAD_CLUSTER if arch_key in CLUSTER_KEYS else WORKLOAD
 
 
 def _arch_of(key: str):
@@ -64,6 +77,63 @@ def _golden_fault_plan():
     ))
 
 
+def _run_cluster_incast(tracer: Tracer) -> Tracer:
+    """4→1 incast through a deliberately slow switched fabric: the
+    uplink saturates at ~2.4k pkts/sec against 6k offered, so the
+    digest pins switch enqueue/drop order under sustained overflow."""
+    from repro.apps import udp_blast_sink
+    from repro.core import Architecture, build_host
+    from repro.engine.simulator import Simulator
+    from repro.net.topology import incast_spec
+    from repro.workloads import RawUdpInjector
+
+    sim = Simulator(seed=GOLDEN_SEED, tracer=tracer)
+    topo = incast_spec(4, queue_frames=8,
+                       bandwidth_bits_per_usec=2.0).build(sim)
+    server = build_host(sim, topo, "10.0.0.1", Architecture.SOFT_LRP)
+    server.spawn("incast-sink", udp_blast_sink(9000))
+    for i in range(4):
+        injector = RawUdpInjector(sim, topo, f"10.0.0.{10 + i}",
+                                  "10.0.0.1", 9000,
+                                  src_port=20000 + i)
+        sim.schedule(5_000.0 + 137.0 * i, injector.start, 1_500.0)
+    sim.run_until(GOLDEN_DURATION)
+    return tracer
+
+
+def _run_cluster_chain(tracer: Tracer) -> Tracer:
+    """Transit flood across the gateway chain: a SOFT-LRP gateway
+    forwards client→backend traffic through two switches while running
+    a local application, pinning the forwarding daemon's scheduling
+    interleave and every hop's event order."""
+    from repro.apps import udp_blast_sink
+    from repro.core import Architecture, build_host
+    from repro.core.forwarding import build_gateway
+    from repro.engine.process import Compute
+    from repro.engine.simulator import Simulator
+    from repro.net.topology import gateway_chain_spec
+    from repro.workloads import RawUdpInjector
+
+    sim = Simulator(seed=GOLDEN_SEED, tracer=tracer)
+    topo = gateway_chain_spec().build(sim)
+    gateway, _daemon = build_gateway(sim, topo, "10.0.0.254",
+                                     "10.0.1.254",
+                                     Architecture.SOFT_LRP)
+    backend = build_host(sim, topo, "10.0.1.1", Architecture.BSD)
+    backend.spawn("chain-sink", udp_blast_sink(9000))
+
+    def local_app():
+        while True:
+            yield Compute(1_000.0)
+
+    gateway.spawn("local-app", local_app())
+    injector = RawUdpInjector(sim, topo, "10.0.0.2", "10.0.1.1",
+                              9000, next_hop="10.0.0.254")
+    sim.schedule(5_000.0, injector.start, 2_000.0)
+    sim.run_until(GOLDEN_DURATION)
+    return tracer
+
+
 def run_golden_workload(arch_key: str,
                         tracer: Optional[Tracer] = None) -> Tracer:
     """Run the canonical workload on *arch_key*'s architecture with
@@ -75,6 +145,10 @@ def run_golden_workload(arch_key: str,
 
     if tracer is None:
         tracer = Tracer(capacity=None)
+    if arch_key == "cluster-incast":
+        return _run_cluster_incast(tracer)
+    if arch_key == "cluster-chain":
+        return _run_cluster_chain(tracer)
     sim = Simulator(seed=GOLDEN_SEED, tracer=tracer)
     network = Network(sim)
     fault_plane = None
@@ -136,7 +210,7 @@ def golden_digest(arch_key: str) -> Dict:
     """The full golden-file payload for one architecture."""
     tracer = run_golden_workload(arch_key)
     digest = tracer.digest()
-    return {"workload": WORKLOAD, "arch": arch_key,
+    return {"workload": workload_of(arch_key), "arch": arch_key,
             "seed": GOLDEN_SEED, **digest}
 
 

@@ -43,21 +43,30 @@ class InjectorPort:
         self.frames_received += 1
 
     def send_packet(self, packet: IpPacket,
-                    vci: Optional[int] = None) -> bool:
+                    vci: Optional[int] = None,
+                    link_dst=None) -> bool:
         packet.stamp = self.sim.now
-        return self.network.send(Frame(packet, vci=vci), self.addr)
+        return self.network.send(
+            Frame(packet, vci=vci, link_dst=link_dst), self.addr)
 
 
 class RawUdpInjector:
-    """Sends fixed-size UDP datagrams at an exact rate."""
+    """Sends fixed-size UDP datagrams at an exact rate.
+
+    *next_hop* routes the frames through a gateway: the link-layer
+    destination becomes the gateway's address while the IP destination
+    stays *dst_addr* (what a real client with a default route does).
+    """
 
     def __init__(self, sim: Simulator, network: Network, src_addr,
                  dst_addr, dst_port: int, payload_bytes: int = 14,
-                 src_port: int = 20000):
+                 src_port: int = 20000, next_hop=None):
         self.sim = sim
         self.port = InjectorPort(sim, network, src_addr)
         self.dst_addr = IPAddr(dst_addr)
         self.dst_port = dst_port
+        self.next_hop = IPAddr(next_hop) if next_hop is not None \
+            else None
         self.src_port = src_port
         self.payload_bytes = payload_bytes
         self.sent = 0
@@ -87,7 +96,7 @@ class RawUdpInjector:
         if self.corrupt_fraction > 0 and \
                 self.sim.rng.random() < self.corrupt_fraction:
             packet.corrupt = True
-        self.port.send_packet(packet)
+        self.port.send_packet(packet, link_dst=self.next_hop)
         self.sent += 1
         self.sim.schedule_detached(self._gap, self._fire)
 

@@ -81,10 +81,8 @@ def test_bsd_forwarding_runs_in_software_interrupt():
 
     right.spawn("server", server())
     victim = gateway.spawn("bystander", bystander())
-    injector = RawUdpInjector(sim, net, "10.0.0.77", RIGHT, 9000)
-    injector._link_dst = GW_A  # injector has no routing: see below
-    # Route the flood via the gateway by sending link-addressed frames.
-    _patch_injector_next_hop(injector, GW_A)
+    injector = RawUdpInjector(sim, net, "10.0.0.77", RIGHT, 9000,
+                              next_hop=GW_A)
     sim.schedule(20_000.0, injector.start, 4_000)
     sim.run_until(500_000.0)
     assert gateway.stack.stats.get("ip_forwarded") > 1_000
@@ -111,8 +109,8 @@ def test_lrp_forwarding_charged_to_daemon():
 
     right.spawn("server", server())
     victim = gateway.spawn("bystander", bystander())
-    injector = RawUdpInjector(sim, net, "10.0.0.77", RIGHT, 9000)
-    _patch_injector_next_hop(injector, GW_A)
+    injector = RawUdpInjector(sim, net, "10.0.0.77", RIGHT, 9000,
+                              next_hop=GW_A)
     sim.schedule(20_000.0, injector.start, 4_000)
     sim.run_until(500_000.0)
     assert daemon.forwarded > 1_000
@@ -142,8 +140,8 @@ def test_lrp_daemon_priority_caps_forwarding_share():
                 yield Compute(1_000.0)
 
         gateway.spawn("hog", hog())
-        injector = RawUdpInjector(sim, net, "10.0.0.77", RIGHT, 9000)
-        _patch_injector_next_hop(injector, GW_A)
+        injector = RawUdpInjector(sim, net, "10.0.0.77", RIGHT, 9000,
+                                  next_hop=GW_A)
         sim.schedule(20_000.0, injector.start, 15_000)
         sim.run_until(600_000.0)
         rates[nice] = daemon.forwarded
@@ -160,8 +158,8 @@ def test_lrp_forwarding_overload_sheds_at_channel():
 
     gateway.spawn("hog", hog())
     gateway.spawn("hog2", hog())
-    injector = RawUdpInjector(sim, net, "10.0.0.77", RIGHT, 9000)
-    _patch_injector_next_hop(injector, GW_A)
+    injector = RawUdpInjector(sim, net, "10.0.0.77", RIGHT, 9000,
+                              next_hop=GW_A)
     sim.schedule(20_000.0, injector.start, 18_000)
     sim.run_until(600_000.0)
     assert daemon.channel.total_discards() > 500
@@ -192,20 +190,3 @@ def test_forwarding_unsupported_for_early_demux():
     host = build_host(sim, net, GW_A, Architecture.EARLY_DEMUX)
     with pytest.raises(NotImplementedError):
         enable_forwarding(host)
-
-
-def _patch_injector_next_hop(injector, gateway_addr) -> None:
-    """Route an injector's packets via a gateway (raw injectors have
-    no routing table of their own)."""
-    from repro.net.addr import IPAddr
-    from repro.net.packet import Frame
-
-    original = injector.port.send_packet
-
-    def routed(packet, vci=None):
-        packet.stamp = injector.sim.now
-        return injector.port.network.send(
-            Frame(packet, vci=vci, link_dst=IPAddr(gateway_addr)),
-            injector.port.addr)
-
-    injector.port.send_packet = routed

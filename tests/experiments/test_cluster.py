@@ -1,0 +1,102 @@
+"""The cluster experiment: determinism, sweep parity, and the
+headline acceptance claim.
+
+The multi-host points must behave like every other sweep point in the
+reproduction: pure functions of their inputs, byte-identical whether
+executed serially, across worker processes, or out of the result
+cache (the topology spec pickles to workers and canonicalizes into
+the cache key).  And the incast scenario must reproduce the paper's
+story at cluster scale: 4.4BSD's goodput collapses under aggregate
+fan-in while the LRP architectures hold their plateau.
+"""
+
+import pytest
+
+from repro.core import Architecture
+from repro.runner import ResultCache, SweepRunner
+from repro.experiments import cluster
+
+FAST = dict(fan_ins=(1, 2), chain_rates=(2_000.0,),
+            systems=(Architecture.BSD, Architecture.SOFT_LRP),
+            duration_usec=120_000.0)
+
+
+def test_incast_point_deterministic():
+    kwargs = dict(arch=Architecture.SOFT_LRP, fan_in=3,
+                  duration_usec=150_000.0)
+    assert cluster.run_incast_point(**kwargs) == \
+        cluster.run_incast_point(**kwargs)
+
+
+def test_chain_point_deterministic():
+    kwargs = dict(arch=Architecture.SOFT_LRP, flood_pps=4_000.0,
+                  duration_usec=150_000.0)
+    assert cluster.run_chain_point(**kwargs) == \
+        cluster.run_chain_point(**kwargs)
+
+
+def test_serial_parallel_cached_parity(tmp_path):
+    serial = cluster.run_experiment(runner=SweepRunner(workers=0),
+                                    **FAST)
+    parallel = cluster.run_experiment(runner=SweepRunner(workers=2),
+                                      **FAST)
+    assert parallel == serial
+
+    cache = ResultCache(tmp_path / "cache")
+    cold = cluster.run_experiment(
+        runner=SweepRunner(workers=0, cache=cache), **FAST)
+    assert cold == serial
+    assert cache.misses > 0 and cache.hits == 0
+    warm_runner = SweepRunner(workers=0,
+                              cache=ResultCache(tmp_path / "cache"))
+    warm = cluster.run_experiment(runner=warm_runner, **FAST)
+    assert warm == serial
+    assert warm_runner.cache.misses == 0
+    assert warm_runner.cache.hits == len(warm_runner.points_log)
+
+
+def test_sweep_logs_name_the_graphs():
+    runner = SweepRunner()
+    cluster.run_experiment(runner=runner, **FAST)
+    topologies = {entry["topology"] for entry in runner.points_log}
+    assert topologies == {"incast-1to1", "incast-2to1",
+                          "gateway-chain"}
+
+
+def test_incast_collapse_acceptance():
+    """The PR's acceptance bar: at maximum fan-in, 4.4BSD collapses
+    while both LRP architectures sustain at least 1.2x its goodput —
+    deterministically."""
+    fan_in = 4
+    points = {
+        arch: cluster.run_incast_point(arch=arch, fan_in=fan_in,
+                                       duration_usec=500_000.0)
+        for arch in (Architecture.BSD, Architecture.SOFT_LRP,
+                     Architecture.NI_LRP)}
+    bsd = points[Architecture.BSD]["goodput_pps"]
+    offered = points[Architecture.BSD]["offered_pps"]
+    # BSD is deep in livelock: goodput far below the offered load.
+    assert bsd < 0.25 * offered
+    for arch in (Architecture.SOFT_LRP, Architecture.NI_LRP):
+        lrp = points[arch]["goodput_pps"]
+        assert lrp > 0
+        assert lrp >= 1.2 * bsd
+        # And the LRP drop ledger names the shed point: the channel,
+        # not the shared IP queue.
+        assert points[arch]["drop_channel"] > 0
+        assert points[arch]["drop_ipq"] == 0
+
+
+def test_report_renders(capsys):
+    result = cluster.run_experiment(runner=SweepRunner(), **FAST)
+    text = cluster.report(result)
+    assert "Cluster incast" in text
+    assert "Gateway chain" in text
+    assert "Goodput vs. 4.4BSD" in text
+
+
+@pytest.mark.parametrize("bad_fan", [0, -1])
+def test_incast_spec_rejects_degenerate_fan_in(bad_fan):
+    from repro.net.topology import incast_spec
+    with pytest.raises(ValueError):
+        incast_spec(bad_fan)
