@@ -10,7 +10,12 @@ assumed.  It times the engine's hot paths in isolation and end-to-end:
 * ``packet_roundtrip`` — wall-clock cost of one simulated UDP
   ping-pong round trip through two full BSD stacks;
 * ``figure3_point`` — per-architecture engine events/sec on a fixed
-  full-scale Figure-3 point, the number the CI perf gate tracks.
+  full-scale Figure-3 point, the number the CI perf gate tracks;
+* ``cluster_incast`` — the sharded-engine scaling scenario
+  (:mod:`repro.bench.cluster`): the rack-local incast grid at shard
+  counts 1 and 2, reporting events/sec per shard count.  The
+  one-shard row joins the perf gate; multi-shard rows record the
+  scaling story (meaningful only where the runner has the cores).
 
 Results are written as machine-readable ``BENCH_*.json``.  Because
 absolute events/sec depends on the host, every run also measures a
@@ -36,6 +41,7 @@ from repro.bench.micro import (
     bench_mbuf_pool,
     bench_packet_roundtrip,
 )
+from repro.bench.cluster import bench_cluster_incast
 from repro.bench.figure3_point import bench_figure3_point
 
 #: Regression threshold for the CI gate: fail when normalized
@@ -49,6 +55,7 @@ BENCHMARKS = {
     "mbuf_pool": bench_mbuf_pool,
     "packet_roundtrip": bench_packet_roundtrip,
     "figure3_point": bench_figure3_point,
+    "cluster_incast": bench_cluster_incast,
 }
 
 
@@ -100,15 +107,35 @@ def _normalized_figure3(payload: Dict[str, Any]) -> Dict[str, float]:
             for arch, row in point["per_arch"].items()}
 
 
+def _normalized_cluster(payload: Dict[str, Any]) -> Optional[float]:
+    """Machine-normalized one-shard throughput of the sharded cluster
+    scenario, or ``None`` when the payload predates it.
+
+    Only the shards=1 row is gateable: multi-shard wall-clock depends
+    on the runner's core count, which calibration cannot normalize
+    away.
+    """
+    point = payload["results"].get("cluster_incast")
+    if not point:
+        return None
+    kops = point.get("calibration_kops_per_sec") \
+        or payload["calibration_kops_per_sec"]
+    if not kops:
+        return None
+    return point["events_per_sec"] / kops
+
+
 def compare_results(new: Dict[str, Any], baseline: Dict[str, Any],
                     threshold: float = DEFAULT_GATE_THRESHOLD
                     ) -> Dict[str, Any]:
     """Compare a fresh run against a baseline payload.
 
     Returns ``{"ok": bool, "rows": [...], "threshold": ...}`` where
-    each row carries the per-architecture raw and normalized speedup
-    of the figure-3 point.  ``ok`` is False when any architecture's
-    *normalized* events/sec regressed by more than *threshold*.
+    each row carries the raw and normalized speedup of one gated
+    series: the figure-3 point per architecture, plus the sharded
+    cluster scenario's one-shard row (skipped when either payload
+    predates it).  ``ok`` is False when any row's *normalized*
+    events/sec regressed by more than *threshold*.
     """
     new_norm = _normalized_figure3(new)
     old_norm = _normalized_figure3(baseline)
@@ -127,6 +154,24 @@ def compare_results(new: Dict[str, Any], baseline: Dict[str, Any],
         ok = ok and not regressed
         rows.append({
             "arch": arch,
+            "events_per_sec": round(raw_new, 1),
+            "baseline_events_per_sec": round(raw_old, 1),
+            "raw_speedup": round(raw_new / raw_old, 3) if raw_old else None,
+            "normalized_speedup": round(ratio, 3),
+            "regressed": regressed,
+        })
+    new_cluster = _normalized_cluster(new)
+    old_cluster = _normalized_cluster(baseline)
+    if new_cluster is not None and old_cluster is not None:
+        raw_new = new["results"]["cluster_incast"]["events_per_sec"]
+        raw_old = baseline["results"]["cluster_incast"][
+            "events_per_sec"]
+        ratio = (new_cluster / old_cluster if old_cluster
+                 else float("inf"))
+        regressed = ratio < 1.0 - threshold
+        ok = ok and not regressed
+        rows.append({
+            "arch": "cluster_incast@1shard",
             "events_per_sec": round(raw_new, 1),
             "baseline_events_per_sec": round(raw_old, 1),
             "raw_speedup": round(raw_new / raw_old, 3) if raw_old else None,

@@ -1,0 +1,225 @@
+"""Multi-shard scaling benchmark: the cluster incast grid.
+
+The ROADMAP's remaining throughput ceiling is the single Python event
+loop; the sharded engine (docs/PDES.md) attacks it by partitioning a
+component scenario across worker processes under conservative time
+synchronization.  This benchmark measures what that buys on the
+scenario built for it: :func:`repro.net.topology.incast_grid_spec`,
+*racks* independent incast racks behind one idle core switch, with
+strictly rack-local traffic.  A rack-affine explicit partition puts
+whole racks on shards, so no frame ever crosses the shard cut and the
+conservative sync runs at its theoretical best (lookahead = the
+core-uplink propagation delay, null messages only).
+
+Reported per shard count: total simulated events, wall-clock, and
+events/sec, plus the speedup over the one-shard row of the *same
+run*.  Two honesty guards:
+
+* ``usable_cpus`` is recorded in the payload.  Shard workers are OS
+  processes; with fewer usable CPUs than shards the multi-shard rows
+  measure sync overhead, not speedup, and the ≥2x scaling target only
+  holds where the machine has the cores (CI's runners do; a 1-CPU
+  container does not).
+* The per-rack delivery counts are asserted identical across shard
+  counts before any timing is reported — a benchmark that desyncs is
+  a bug, not a result.
+
+The CI perf gate (:func:`repro.bench.compare_results`) tracks the
+one-shard row's calibration-normalized events/sec like any other
+benchmark; multi-shard rows are recorded for the scaling story but
+not gated, because their wall-clock depends on runner core count.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List, Sequence
+
+from repro.bench.calibrate import calibration_kops
+from repro.core import Architecture
+from repro.engine.component import (
+    HostComponent,
+    SourceComponent,
+    SwitchComponent,
+)
+from repro.engine.sharded import ShardedEngine
+from repro.net.topology import incast_grid_spec
+from repro.apps import udp_blast_sink
+from repro.workloads import RawUdpInjector
+
+#: The canonical grid: 4 racks x 4 clients, one shard per 1-2 racks.
+BENCH_RACKS = 4
+BENCH_FAN_IN = 4
+#: Per-client offered rate; 4 clients x 2,500 pkts/sec saturates each
+#: rack's server link without collapsing it.
+BENCH_RATE_PPS = 2_500.0
+BENCH_PORT = 9000
+BENCH_SEED = 3
+
+FULL_DURATION_USEC = 400_000.0
+QUICK_DURATION_USEC = 120_000.0
+
+#: Core-uplink propagation delay — the shard cut's lookahead.  No
+#: benchmark traffic crosses the core (results are identical at any
+#: value); a long uplink is physically reasonable for an inter-rack
+#: trunk and directly sets the null-message round count
+#: (duration / lookahead), the conservative sync's fixed cost.  500us
+#: takes the 120ms quick run from ~2000 rounds to ~230.
+CORE_PROPAGATION_USEC = 500.0
+
+#: Shard counts measured (1 is the gated baseline row).
+BENCH_SHARDS = (1, 2)
+
+
+def _rack_server_build(world, rack, **_):
+    host = world.add_host(f"10.{rack + 1}.0.1", Architecture.SOFT_LRP,
+                          name=f"server{rack}")
+    received = [0]
+
+    def on_rx(stamp, dgram):
+        received[0] += 1
+
+    host.spawn(f"sink{rack}", udp_blast_sink(BENCH_PORT,
+                                             on_receive=on_rx))
+    return received
+
+
+def _rack_server_collect(world, state, **_):
+    return state[0]
+
+
+def _rack_client_build(world, rack, index, rate_pps, **_):
+    injector = RawUdpInjector(
+        world.sim, world.fabric,
+        f"10.{rack + 1}.0.{10 + index}",
+        f"10.{rack + 1}.0.1", BENCH_PORT, src_port=20_000 + index)
+    world.sim.schedule(5_000.0 + 137.0 * index, injector.start,
+                       rate_pps)
+    return injector
+
+
+def _rack_client_collect(world, injector, **_):
+    return injector.sent
+
+
+def grid_components(racks: int = BENCH_RACKS,
+                    fan_in: int = BENCH_FAN_IN,
+                    rate_pps: float = BENCH_RATE_PPS) -> List:
+    """The rack-local grid workload as a component declaration.
+
+    Switches are declared explicitly (rather than auto-covered) so an
+    explicit rack-affine assignment can pin each rack switch next to
+    its rack's hosts.
+    """
+    components: List = [SwitchComponent("core")]
+    for r in range(racks):
+        components.append(SwitchComponent(f"rack{r}"))
+        components.append(HostComponent(
+            f"server{r}", f"server{r}", build=_rack_server_build,
+            collect=_rack_server_collect, kwargs={"rack": r}))
+        for i in range(fan_in):
+            components.append(SourceComponent(
+                f"client{r}x{i}", f"client{r}x{i}",
+                build=_rack_client_build,
+                collect=_rack_client_collect,
+                kwargs={"rack": r, "index": i, "rate_pps": rate_pps}))
+    return components
+
+
+def rack_affine_assignment(shards: int,
+                           racks: int = BENCH_RACKS,
+                           fan_in: int = BENCH_FAN_IN
+                           ) -> List[List[str]]:
+    """Whole racks per shard; the (idle) core switch rides on shard 0.
+
+    Traffic never leaves a rack, so this placement has zero
+    cross-shard frames — only null messages cross the cut.
+    """
+    shards = max(1, min(int(shards), racks))
+    groups: List[List[str]] = [[] for _ in range(shards)]
+    groups[0].append("core")
+    for r in range(racks):
+        group = groups[r % shards]
+        group.append(f"rack{r}")
+        group.append(f"server{r}")
+        group.extend(f"client{r}x{i}" for i in range(fan_in))
+    return groups
+
+
+def run_grid(shards: int,
+             duration_usec: float = FULL_DURATION_USEC,
+             mode: str = "auto",
+             seed: int = BENCH_SEED):
+    """One timed grid run; returns ``(run, wall_sec)``."""
+    spec = incast_grid_spec(
+        BENCH_RACKS, BENCH_FAN_IN,
+        core_propagation_usec=CORE_PROPAGATION_USEC)
+    engine = ShardedEngine(
+        spec, grid_components(),
+        shards=min(shards, BENCH_RACKS), mode=mode,
+        assignment=rack_affine_assignment(shards))
+    started = time.perf_counter()
+    run = engine.run(duration_usec, seed=seed)
+    return run, time.perf_counter() - started
+
+
+def bench_cluster_incast(quick: bool = False,
+                         shard_counts: Sequence[int] = BENCH_SHARDS
+                         ) -> Dict[str, Any]:
+    """Events/sec of the incast grid per shard count (one BENCH
+    fragment; the shards=1 row is what the perf gate tracks)."""
+    duration = QUICK_DURATION_USEC if quick else FULL_DURATION_USEC
+    repeats = 1 if quick else 2
+    kops = calibration_kops(repeats=2)
+
+    per_shards: Dict[str, Dict[str, Any]] = {}
+    reference_delivered = None
+    base_rate = None
+    for shards in shard_counts:
+        best: Dict[str, Any] = {}
+        best_rate = 0.0
+        for _ in range(max(1, repeats)):
+            run, wall = run_grid(shards, duration_usec=duration)
+            delivered = {name: count
+                         for name, count in sorted(
+                             run.collected.items())
+                         if name.startswith("server")}
+            if reference_delivered is None:
+                reference_delivered = delivered
+            elif delivered != reference_delivered:
+                raise AssertionError(
+                    f"shard-count parity broken at shards={shards}: "
+                    f"{delivered} != {reference_delivered}")
+            rate = run.events / wall if wall else 0.0
+            if rate > best_rate or not best:
+                best_rate = rate
+                best = {
+                    "shards": shards,
+                    "events": run.events,
+                    "rounds": run.rounds,
+                    "delivered": sum(delivered.values()),
+                    "wall_sec": round(wall, 6),
+                    "events_per_sec": round(rate, 1),
+                }
+        if base_rate is None:
+            base_rate = best_rate
+        else:
+            best["speedup_vs_one_shard"] = (
+                round(best_rate / base_rate, 3) if base_rate else None)
+        per_shards[str(shards)] = best
+
+    one = per_shards[str(shard_counts[0])]
+    return {
+        "racks": BENCH_RACKS,
+        "fan_in": BENCH_FAN_IN,
+        "rate_pps": BENCH_RATE_PPS,
+        "duration_usec": duration,
+        "usable_cpus": len(os.sched_getaffinity(0)),
+        "calibration_kops_per_sec": round(kops, 3),
+        "per_shards": per_shards,
+        # Headline (gated) row: the one-shard run.
+        "events": one["events"],
+        "wall_sec": one["wall_sec"],
+        "events_per_sec": one["events_per_sec"],
+    }

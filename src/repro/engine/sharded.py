@@ -1,0 +1,619 @@
+"""Sharded conservative-time execution of component simulations.
+
+The :class:`ShardedEngine` runs one scenario — a
+:class:`~repro.net.topology.TopologySpec` plus a declaration-ordered
+list of :class:`~repro.engine.component.Component` s — across one or
+more *shards*, each holding its own :class:`Simulator`, its own slice
+of the fabric, and the components placed on it by the partitioner.
+Shards exchange nothing but timestamped frames over the partition's
+:class:`~repro.engine.component.ChannelLink` s.
+
+Time synchronization is conservative, in the null-message tradition
+(Chandy–Misra–Bryant), organized as synchronous rounds driven by a
+coordinator:
+
+1. Every shard reports its *next event estimate* ``ne_i`` (earliest
+   pending local event).  The coordinator folds in messages it has not
+   yet delivered: ``eff_i = min(ne_i, earliest pending arrival)``.
+2. The ``eff`` values are relaxed over the channel graph to the least
+   fixpoint ``lb_j = min(eff_j, min over channels (i -> j) of
+   (lb_i + lookahead_ij))`` — a shard's next action may be a reaction
+   to a frame another shard is about to emit, transitively, around
+   cycles.  Shard *j*'s **grant** is then ``min over in-channels
+   (i -> j) of (lb_i + lookahead_ij)``: no frame can arrive before
+   its sender's earliest possible action plus the channel's
+   propagation delay, so every event strictly before the grant is
+   safe to run.
+3. Each shard receives its pending messages, runs exactly the events
+   with ``time < grant`` (:meth:`Simulator.run_events_before`), and
+   returns newly exported frames.  A grant beyond the horizon lets the
+   shard run to the end (:meth:`Simulator.run_until`) and finish.
+
+Progress is guaranteed because lookahead is strictly positive on every
+cut edge (:class:`~repro.engine.component.Partition` enforces it): the
+shard holding the globally minimal ``eff`` always receives a grant
+strictly above it, so it processes at least one event per round.
+
+Determinism: a shard's local execution is a sequential simulation, so
+rounds only decide *when* a shard may run, never *what order* its
+events run in.  Cross-shard arrivals are inserted sorted by
+``(arrival time, channel rank, emission seq)``, making the receiving
+heap order a pure function of the partition — not of round timing,
+transport, or process scheduling.  The one residual freedom is the
+interleave of *same-timestamp* events on *different* shards, which has
+no global definition; parity across shard counts is therefore asserted
+on the timestamp-canonical digest (:func:`repro.trace.merge
+.parity_digest`) plus exact per-event-type counts.  At one shard there
+is no freedom at all: the engine builds the identical unsharded world
+and the raw order-sensitive digest is byte-identical to the golden
+traces.
+
+Two transports execute the same round protocol: ``inline`` drives all
+shard runtimes in-process (messages still make a pickle round-trip, so
+it is a faithful — and debuggable — model of process mode), and
+``process`` forks one worker per shard and speaks a small tuple
+protocol over pipes.  See docs/PDES.md for the full contract and a
+worked example.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import pickle
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.component import (
+    Component,
+    Partition,
+    ShardWorld,
+    cover_switches,
+    instantiate,
+    make_partition,
+)
+from repro.engine.simulator import Simulator
+from repro.host.costs import DEFAULT_COSTS
+from repro.trace.merge import (
+    merge_records,
+    parity_digest,
+    raw_digest,
+    shipped_records,
+)
+from repro.trace.tracer import NULL_TRACER, Tracer
+
+_INF = math.inf
+
+
+class ShardSyncError(RuntimeError):
+    """The conservative-time coordinator detected a stall or a worker
+    failure."""
+
+
+class ShardProgram:
+    """Everything a worker needs to build and run its shard.
+
+    Plain picklable data: the validated :class:`Partition` (which
+    carries the spec and the component declarations — their hooks are
+    module-level functions, pickled by reference), the seed, the
+    horizon, and the optional module-level *prepare* hook run on every
+    shard after the fabric exists but before any component builds
+    (fault-plane attachment and similar world-level setup).
+    """
+
+    __slots__ = ("partition", "seed", "duration", "trace", "prepare",
+                 "costs")
+
+    def __init__(self, partition: Partition, seed: int,
+                 duration: float, trace: bool,
+                 prepare=None, costs=DEFAULT_COSTS) -> None:
+        self.partition = partition
+        self.seed = seed
+        self.duration = float(duration)
+        self.trace = trace
+        self.prepare = prepare
+        self.costs = costs
+
+    @property
+    def spec(self):
+        return self.partition.spec
+
+    @property
+    def components(self) -> List[Component]:
+        return self.partition.components
+
+
+class _ShardRuntime:
+    """One shard's live state: simulator, fabric slice, components.
+
+    Identical whether it lives in a worker process or inline in the
+    coordinating process — the constructor takes only the picklable
+    :class:`ShardProgram` plus a shard index.
+    """
+
+    def __init__(self, program: ShardProgram, index: int) -> None:
+        self.program = program
+        self.index = index
+        self.duration = program.duration
+        partition = program.partition
+        tracer = (Tracer(capacity=None) if program.trace
+                  else NULL_TRACER)
+        self.sim = Simulator(seed=program.seed, tracer=tracer)
+
+        #: Frames exported this window, as
+        #: ``(dst_shard, rank, arrival, seq, frame, dst_key)``.
+        self.outbox: List[Tuple] = []
+        self._emit_seq = 0
+        self._out = {(ch.src_node, ch.dst_node): ch
+                     for ch in partition.channels
+                     if ch.src_shard == index}
+        self._in_node = {ch.rank: ch.dst_node
+                         for ch in partition.channels
+                         if ch.dst_shard == index}
+
+        if partition.shards == 1:
+            # The unsharded special case takes the exact pre-sharding
+            # construction path (no ownership filter, no boundary), so
+            # its event order is byte-identical to the golden traces.
+            owned = None
+            fabric = program.spec.build(self.sim)
+        else:
+            owned = partition.owned_nodes(index)
+            fabric = program.spec.build(self.sim, owned_nodes=owned,
+                                        boundary=self._emit)
+        self.world = ShardWorld(self.sim, program.spec, fabric,
+                                shard_index=index,
+                                shard_count=partition.shards,
+                                owned=owned, costs=program.costs)
+        if program.prepare is not None:
+            program.prepare(self.world)
+        self.states = instantiate(self.world, program.components)
+        self._owned_components = [c for c in program.components
+                                  if c.name in self.states]
+        self.finished = False
+
+    # -- boundary ------------------------------------------------------
+    def _emit(self, src_node: str, dst_node: str, arrival: float,
+              frame, dst_key: int) -> None:
+        """Topology boundary callback: queue an exported frame for the
+        coordinator to route.  The mbuf-chain backref is shard-local
+        host state (the receiving stack allocates its own chain), so it
+        is stripped before the frame crosses the pickle boundary."""
+        channel = self._out[(src_node, dst_node)]
+        frame.packet._mbuf_chain = None
+        self._emit_seq += 1
+        self.outbox.append((channel.dst_shard, channel.rank, arrival,
+                            self._emit_seq, frame, dst_key))
+
+    def insert(self, messages: Sequence[Tuple]) -> None:
+        """Schedule inbound frames ``(rank, arrival, seq, frame,
+        dst_key)`` sorted by ``(arrival, channel rank, seq)`` — the
+        deterministic cross-shard tie order of the contract."""
+        for rank, arrival, _seq, frame, dst_key in sorted(
+                messages, key=lambda m: (m[1], m[0], m[2])):
+            self.world.fabric.import_frame(arrival,
+                                           self._in_node[rank],
+                                           frame, dst_key)
+
+    # -- round protocol ------------------------------------------------
+    def next_event(self) -> float:
+        if self.finished:
+            return _INF
+        when = self.sim.next_event_time()
+        return _INF if when is None else when
+
+    def step_with(self, grant: Optional[float],
+                  messages: Sequence[Tuple]
+                  ) -> Tuple[float, bool, List[Tuple]]:
+        """One coordinator round: deliver *messages*, run the granted
+        window, hand back (next event, finished, exported frames)."""
+        if messages:
+            self.insert(messages)
+        if grant is not None and not self.finished:
+            if grant > self.duration:
+                self.sim.run_until(self.duration)
+                self.finished = True
+            else:
+                self.sim.run_events_before(grant)
+        out = self.outbox
+        self.outbox = []
+        return self.next_event(), self.finished, out
+
+    def finish(self, leftovers: Sequence[Tuple]) -> Dict[str, Any]:
+        """Run to the horizon if not already there, absorb leftover
+        in-flight frames (their arrivals are past the horizon — they
+        exist only so the conservation ledger balances), finalize, and
+        collect results."""
+        if leftovers:
+            self.insert(leftovers)
+        if not self.finished:
+            self.sim.run_until(self.duration)
+            self.finished = True
+        self.world.finalize()
+        collected = {}
+        for comp in self._owned_components:
+            collected[comp.name] = comp.run_collect(
+                self.world, self.states[comp.name])
+        payload: Dict[str, Any] = {
+            "collected": collected,
+            "events": self.sim.events_processed,
+            "conservation": self.world.fabric.conservation(),
+            "hop_stats": self.world.fabric.hop_stats(),
+        }
+        if self.program.trace:
+            payload["records"] = shipped_records(self.sim.trace)
+            payload["digest"] = self.sim.trace.digest()
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Transports
+# ----------------------------------------------------------------------
+def _roundtrip(messages: Sequence[Tuple]) -> List[Tuple]:
+    """Pickle round-trip, so inline mode ships frames with exactly the
+    copy semantics of process mode (fresh objects, no shared state)."""
+    return pickle.loads(pickle.dumps(messages))
+
+
+class _InlineTransport:
+    """All shard runtimes in this process; the debuggable transport,
+    and the only one the one-shard fast path needs."""
+
+    def __init__(self, program: ShardProgram) -> None:
+        self.runtimes = [_ShardRuntime(program, i)
+                         for i in range(program.partition.shards)]
+
+    def ready(self) -> List[float]:
+        return [rt.next_event() for rt in self.runtimes]
+
+    def step(self, grants, pending):
+        replies = []
+        for rt, grant, messages in zip(self.runtimes, grants, pending):
+            if grant is None and not messages:
+                replies.append((_INF, True, []))
+                continue
+            replies.append(rt.step_with(
+                grant, _roundtrip(messages) if messages else []))
+        return replies
+
+    def finish(self, leftovers):
+        return [rt.finish(_roundtrip(msgs) if msgs else [])
+                for rt, msgs in zip(self.runtimes, leftovers)]
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_main(conn, program: ShardProgram, index: int) -> None:
+    """Worker process entry: build the shard, then serve round
+    requests until told to finish."""
+    try:
+        runtime = _ShardRuntime(program, index)
+        conn.send(("ready", runtime.next_event()))
+        while True:
+            request = conn.recv()
+            op = request[0]
+            if op == "step":
+                ne, finished, outbox = runtime.step_with(request[1],
+                                                         request[2])
+                conn.send(("stepped", ne, finished, outbox))
+            elif op == "finish":
+                conn.send(("done", runtime.finish(request[1])))
+                return
+            else:  # pragma: no cover - defensive
+                raise ShardSyncError(f"unknown op {op!r}")
+    except Exception as exc:  # noqa: BLE001 - relayed to coordinator
+        import traceback
+        try:
+            conn.send(("error",
+                       f"{exc!r}\n{traceback.format_exc()}"))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        conn.close()
+
+
+class _ProcessTransport:
+    """One forked worker per shard, a pipe each; the parallel
+    transport that buys wall-clock on multi-core machines."""
+
+    def __init__(self, program: ShardProgram) -> None:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        self.conns = []
+        self.procs = []
+        try:
+            for index in range(program.partition.shards):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(target=_worker_main,
+                                   args=(child, program, index),
+                                   daemon=True)
+                proc.start()
+                child.close()
+                self.conns.append(parent)
+                self.procs.append(proc)
+        except Exception:
+            self.close()
+            raise
+
+    def _recv(self, index: int):
+        try:
+            reply = self.conns[index].recv()
+        except EOFError as exc:
+            raise ShardSyncError(
+                f"shard {index} worker died without a reply") from exc
+        if reply[0] == "error":
+            raise ShardSyncError(f"shard {index} failed:\n{reply[1]}")
+        return reply
+
+    def ready(self) -> List[float]:
+        return [self._recv(i)[1] for i in range(len(self.conns))]
+
+    def step(self, grants, pending):
+        replies: List[Optional[Tuple]] = [None] * len(self.conns)
+        active = []
+        for index, (grant, messages) in enumerate(zip(grants,
+                                                      pending)):
+            if grant is None and not messages:
+                replies[index] = (_INF, True, [])
+                continue
+            self.conns[index].send(("step", grant, messages))
+            active.append(index)
+        for index in active:
+            reply = self._recv(index)
+            replies[index] = (reply[1], reply[2], reply[3])
+        return replies
+
+    def finish(self, leftovers):
+        for index, conn in enumerate(self.conns):
+            conn.send(("finish", leftovers[index]))
+        return [self._recv(i)[1] for i in range(len(self.conns))]
+
+    def close(self) -> None:
+        for conn in self.conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for proc in self.procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=10.0)
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+def _drive(transport, partition: Partition, duration: float
+           ) -> Tuple[List[List[Tuple]], int]:
+    """Run the synchronous round protocol to completion.  Returns the
+    per-shard leftover messages (all past the horizon) and the round
+    count."""
+    shards = partition.shards
+    in_channels: List[List] = [[] for _ in range(shards)]
+    for channel in partition.channels:
+        in_channels[channel.dst_shard].append(channel)
+
+    min_lookahead = partition.min_lookahead()
+    if min_lookahead:
+        max_rounds = (10_000
+                      + int(duration / min_lookahead + 1) * 16 * shards)
+    else:
+        max_rounds = 16 + shards
+
+    ne = list(transport.ready())
+    finished = [False] * shards
+    pending: List[List[Tuple]] = [[] for _ in range(shards)]
+    rounds = 0
+    while not all(finished):
+        rounds += 1
+        if rounds > max_rounds:
+            raise ShardSyncError(
+                f"no termination after {max_rounds} rounds "
+                f"(min lookahead {min_lookahead!r}us, "
+                f"duration {duration!r}us)")
+        # Effective next-event per shard: its own heap, or an
+        # undelivered arrival, whichever is earlier.
+        eff = []
+        for i in range(shards):
+            value = ne[i]
+            for message in pending[i]:
+                if message[1] < value:
+                    value = message[1]
+            eff.append(value)
+        # Transitive lower bounds.  A shard's next action may be
+        # triggered by a frame it has not seen yet — one that another
+        # shard will emit when *its* next action runs, possibly in
+        # response to a frame from a third shard, and so on around
+        # cycles (a gateway bouncing a shard's own traffic back at
+        # it).  Relax the lookahead edges to the least fixpoint:
+        # lb_j = min(eff_j, min over channels i->j of lb_i + L_ij).
+        # Strictly positive lookahead makes this a shortest-path
+        # relaxation that terminates.  Edges out of finished shards
+        # are dead — they will never emit again.
+        lb = list(eff)
+        changed = True
+        while changed:
+            changed = False
+            for channel in partition.channels:
+                if finished[channel.src_shard]:
+                    continue
+                bound = (lb[channel.src_shard]
+                         + channel.lookahead_usec)
+                if bound < lb[channel.dst_shard]:
+                    lb[channel.dst_shard] = bound
+                    changed = True
+        grants: List[Optional[float]] = []
+        for j in range(shards):
+            if finished[j]:
+                grants.append(None)
+                continue
+            grant = _INF
+            for channel in in_channels[j]:
+                src = channel.src_shard
+                if finished[src]:
+                    continue
+                bound = lb[src] + channel.lookahead_usec
+                if bound < grant:
+                    grant = bound
+            grants.append(grant)
+        replies = transport.step(grants, pending)
+        pending = [[] for _ in range(shards)]
+        for j, (ne_j, finished_j, outbox) in enumerate(replies):
+            ne[j] = ne_j
+            finished[j] = finished_j
+            for dst, rank, arrival, seq, frame, dst_key in outbox:
+                pending[dst].append((rank, arrival, seq, frame,
+                                     dst_key))
+    return pending, rounds
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+class ShardedRun:
+    """The merged outcome of one sharded execution.
+
+    Attributes
+    ----------
+    collected:
+        ``{component name: collect-hook result}`` over every
+        component, merged across shards.
+    events / per_shard_events:
+        Total and per-shard simulator event counts.
+    rounds:
+        Coordinator rounds taken (1 for a single shard).
+    conservation:
+        Per-shard fabric ledgers; :meth:`total_conservation` folds
+        them and checks the cross-shard terms cancel.
+    records / parity / trace_digest:
+        Present when tracing: the deterministically merged record
+        stream, its timestamp-canonical parity digest, and — at one
+        shard only — the raw order-sensitive digest comparable to the
+        golden files.
+    """
+
+    def __init__(self, payloads: List[Dict[str, Any]], rounds: int,
+                 partition: Partition, mode: str) -> None:
+        self.partition = partition
+        self.shards = partition.shards
+        self.mode = mode
+        self.rounds = rounds
+        self.collected: Dict[str, Any] = {}
+        for payload in payloads:
+            self.collected.update(payload["collected"])
+        self.per_shard_events = [p["events"] for p in payloads]
+        self.events = sum(self.per_shard_events)
+        self.conservation = [p["conservation"] for p in payloads]
+        self.hop_stats = [p["hop_stats"] for p in payloads]
+        self.records = None
+        self.parity = None
+        self.trace_digest = None
+        if payloads and "records" in payloads[0]:
+            self.records = merge_records([p["records"]
+                                          for p in payloads])
+            self.parity = parity_digest(self.records)
+            if self.shards == 1:
+                self.trace_digest = payloads[0]["digest"]
+
+    def total_conservation(self) -> Dict[str, int]:
+        """Fold the per-shard ledgers; raises if any shard's local
+        invariant or the global export/import balance is broken."""
+        total: Dict[str, int] = {}
+        for ledger in self.conservation:
+            drops = sum(v for k, v in ledger.items()
+                        if k.startswith("drops_"))
+            lhs = (ledger["sent"] + ledger["duplicated"]
+                   + ledger["imported"])
+            rhs = (ledger["delivered"] + drops + ledger["in_flight"]
+                   + ledger["exported"])
+            if lhs != rhs:
+                raise ShardSyncError(
+                    f"per-shard conservation broken: {ledger}")
+            for key, value in ledger.items():
+                total[key] = total.get(key, 0) + value
+        if total and total["exported"] != total["imported"]:
+            raise ShardSyncError(
+                f"cross-shard ledger unbalanced: "
+                f"exported={total['exported']} "
+                f"imported={total['imported']}")
+        return total
+
+    def raw_trace_digest(self) -> Optional[Dict[str, Any]]:
+        """Order-sensitive digest of the merged stream (meaningful
+        for golden comparison only at one shard)."""
+        if self.records is None:
+            return None
+        return raw_digest(self.records)
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+class ShardedEngine:
+    """Partition a component scenario and run it under conservative
+    time synchronization.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`~repro.net.topology.TopologySpec`.  Switches no
+        component claims get implicit
+        :class:`~repro.engine.component.SwitchComponent` s.
+    components:
+        Declaration-ordered components; the order defines build/start
+        event-creation order (the determinism contract).
+    shards:
+        Requested shard count; clamped to the component count.
+    mode:
+        ``"auto"`` (inline at one shard, processes otherwise),
+        ``"inline"``, or ``"process"``.
+    assignment:
+        Optional explicit placement (sequence of component-name
+        groups) overriding the weight-balancing partitioner.
+    prepare:
+        Optional module-level ``fn(world)`` run on every shard after
+        the fabric is built, before component builds.
+    trace:
+        Capture and merge trace records (golden/parity workflows).
+    """
+
+    def __init__(self, spec, components: Sequence[Component], *,
+                 shards: int = 1, mode: str = "auto",
+                 assignment: Optional[Sequence[Sequence[str]]] = None,
+                 prepare=None, costs=DEFAULT_COSTS,
+                 trace: bool = False) -> None:
+        if mode not in ("auto", "inline", "process"):
+            raise ValueError(f"unknown mode {mode!r}")
+        covered = cover_switches(spec, components)
+        self.partition = make_partition(spec, covered, shards,
+                                        explicit=assignment)
+        self.mode = mode
+        self.prepare = prepare
+        self.costs = costs
+        self.trace = trace
+
+    @property
+    def shards(self) -> int:
+        return self.partition.shards
+
+    def run(self, duration: float, seed: int = 0) -> ShardedRun:
+        """Execute until *duration* microseconds; returns the merged
+        :class:`ShardedRun`."""
+        program = ShardProgram(self.partition, seed=seed,
+                               duration=duration, trace=self.trace,
+                               prepare=self.prepare, costs=self.costs)
+        mode = self.mode
+        if mode == "auto":
+            mode = "inline" if self.partition.shards == 1 \
+                else "process"
+        transport = (_ProcessTransport(program) if mode == "process"
+                     else _InlineTransport(program))
+        try:
+            leftovers, rounds = _drive(transport, self.partition,
+                                       program.duration)
+            payloads = transport.finish(leftovers)
+        finally:
+            transport.close()
+        return ShardedRun(payloads, rounds, self.partition, mode)

@@ -232,6 +232,77 @@ class Simulator:
         if time > self.now:
             self.now = time
 
+    def run_events_before(self, bound: float) -> None:
+        """Process every pending event strictly earlier than *bound*.
+
+        The conservative-time window primitive of the sharded engine
+        (:mod:`repro.engine.sharded`): a shard granted a lookahead
+        window ``[now, bound)`` may safely run exactly the events with
+        ``time < bound`` — an event *at* the bound could still be
+        preceded by a message from another shard arriving at exactly
+        ``bound``.  Unlike :meth:`run_until`, the clock is left at the
+        last processed event (not advanced to the bound), so messages
+        arriving later at ``time >= bound`` can still be scheduled.
+
+        Event-for-event identical to :meth:`run_until` over the same
+        window: same callbacks, same order, same trace records.
+        """
+        queue = self._queue
+        heap = queue._heap
+        pool = queue._pool
+        trace = self.trace
+        processed = self.events_processed
+        self._running = True
+        try:
+            while self._running and heap:
+                entry = heap[0]
+                when = entry[0]
+                if when >= bound:
+                    break
+                heappop(heap)
+                if len(entry) == 4:
+                    self.now = when
+                    processed += 1
+                    if trace.enabled:
+                        trace.event_fired(callback_name(entry[2]))
+                    entry[2](*entry[3])
+                    continue
+                event = entry[2]
+                event._pending = False
+                if event.cancelled:
+                    queue._dead -= 1
+                    entry = None
+                    if (getrefcount(event) == 2
+                            and len(pool) < _POOL_LIMIT):
+                        pool.append(event)
+                    continue
+                self.now = when
+                processed += 1
+                callback = event.callback
+                args = event.args
+                if trace.enabled:
+                    trace.event_fired(callback_name(callback))
+                callback(*args)
+                entry = None
+                if getrefcount(event) == 2 and len(pool) < _POOL_LIMIT:
+                    event.callback = _noop
+                    event.args = ()
+                    event.cancelled = True
+                    pool.append(event)
+        finally:
+            self.events_processed = processed
+            self._running = False
+
+    def next_event_time(self) -> Optional[float]:
+        """Firing time of the earliest live pending event, or ``None``.
+
+        Used by the sharded engine to report a shard's local *next
+        event estimate* for conservative grant computation.  A
+        cancelled-but-unpurged entry may make the estimate early;
+        that only shrinks the granted window, never violates safety.
+        """
+        return self._queue.peek_time()
+
     def run(self, max_events: Optional[int] = None) -> None:
         """Process events until the queue is empty (or *max_events*)."""
         queue = self._queue

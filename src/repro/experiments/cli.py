@@ -18,6 +18,7 @@ tables.
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 import time
@@ -119,6 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "run to this JSONL file (see "
                              "docs/TRACING.md); forces a serial, "
                              "uncached sweep")
+    parser.add_argument("--shards", metavar="N", type=int, default=1,
+                        help="partition each simulated scenario across "
+                             "N shard processes under conservative "
+                             "time sync (see docs/PDES.md); only "
+                             "experiments built on the component "
+                             "engine honor it, others note the "
+                             "fallback and run sequentially")
     return parser
 
 
@@ -165,7 +173,16 @@ def main(argv=None) -> int:
         for name in names:
             print(f"\n##### {name} #####")
             exp_started = time.monotonic()
-            text = EXPERIMENTS[name](fast=args.fast, runner=runner)
+            kwargs = {"fast": args.fast, "runner": runner}
+            if args.shards > 1:
+                accepts = inspect.signature(
+                    EXPERIMENTS[name]).parameters
+                if "shards" in accepts:
+                    kwargs["shards"] = args.shards
+                else:
+                    print(f"note: {name} does not support --shards; "
+                          "running sequentially", file=sys.stderr)
+            text = EXPERIMENTS[name](**kwargs)
             experiment_log[name] = {
                 "wall_clock_sec": round(
                     time.monotonic() - exp_started, 3),
@@ -195,6 +212,7 @@ def _write_results(args, names, runner: SweepRunner, experiment_log,
             "point_timeout": args.point_timeout,
             "retries": args.retries,
             "trace": args.trace is not None,
+            "shards": args.shards,
         },
         "started_unix": started_unix,
         "wall_clock_sec": round(elapsed_sec, 3),

@@ -37,7 +37,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import Architecture
 from repro.core.forwarding import build_gateway
+from repro.engine.component import HostComponent, SourceComponent
 from repro.engine.process import Compute
+from repro.engine.sharded import ShardedEngine
 from repro.net.topology import (
     TopologySpec,
     gateway_chain_spec,
@@ -48,7 +50,7 @@ from repro.apps import udp_blast_sink
 from repro.stats.metrics import LatencyRecorder
 from repro.stats.report import format_series, format_table
 from repro.workloads import RawUdpInjector
-from repro.experiments.common import MAIN_SYSTEMS, Testbed
+from repro.experiments.common import MAIN_SYSTEMS
 
 #: Canonical addresses of the incast rack.
 INCAST_SERVER_ADDR = "10.0.0.1"
@@ -79,6 +81,100 @@ def _num(value: float, digits: int = 1) -> Optional[float]:
 
 
 # ----------------------------------------------------------------------
+# Component hooks (module-level: they cross process boundaries by
+# reference when a point runs sharded; see docs/PDES.md)
+# ----------------------------------------------------------------------
+def _tail_stats(recorder: LatencyRecorder, duration_usec: float,
+                warmup_usec: float) -> Dict:
+    """Goodput + latency percentiles over the post-warmup window."""
+    window = duration_usec - warmup_usec
+    delivered = recorder.samples_since(warmup_usec)
+    tail = LatencyRecorder()
+    for sample in delivered:
+        tail.record(sample)
+    return {
+        "goodput_pps": _num(len(delivered) * 1e6 / window),
+        "latency_p50_usec": _num(tail.percentile(50.0)),
+        "latency_p99_usec": _num(tail.percentile(99.0)),
+    }
+
+
+def _latency_sink(world, host, name: str,
+                  port: int) -> LatencyRecorder:
+    """Spawn a blast sink on *host* recording one-way latency."""
+    recorder = LatencyRecorder()
+    sim = world.sim
+
+    def on_rx(stamp, dgram):
+        recorder.record(sim.now - stamp, now=sim.now)
+
+    host.spawn(name, udp_blast_sink(port, on_receive=on_rx))
+    return recorder
+
+
+def _incast_server_build(world, arch, **_):
+    host = world.add_host(INCAST_SERVER_ADDR, Architecture(arch),
+                          name="server")
+    recorder = _latency_sink(world, host, "incast-sink", INCAST_PORT)
+    return host, recorder
+
+
+def _incast_server_collect(world, state, duration_usec, warmup_usec,
+                           **_):
+    host, recorder = state
+    stack = host.stack
+    stats = stack.stats
+    # The channels' own counters cover every early discard (SOFT-LRP's
+    # ``drop_channel_early`` stat annotates the same events).
+    channel_drops = sum(ch.total_discards()
+                        for ch in stack.iter_channels())
+    return {
+        **_tail_stats(recorder, duration_usec, warmup_usec),
+        "drop_nic_ring": host.nic.rx_drops_ring,
+        "drop_ipq": stats.get("drop_ipq"),
+        "drop_channel": channel_drops,
+        "drop_sockq": (stats.get("drop_sockq")
+                       + stats.get("drop_early_sockq_full")),
+        "drop_mbufs": stats.get("drop_mbufs"),
+        "cpu_idle": _num(host.kernel.cpu.idle_time),
+    }
+
+
+def _incast_client_build(world, index, rate_pps, **_):
+    injector = RawUdpInjector(
+        world.sim, world.fabric,
+        f"10.0.0.{INCAST_CLIENT_BASE + index}",
+        INCAST_SERVER_ADDR, INCAST_PORT, src_port=20000 + index)
+    # Staggered starts de-phase the per-client packet trains, as
+    # independent client machines would be.
+    world.sim.schedule(10_000.0 + 137.0 * index, injector.start,
+                       rate_pps)
+    return injector
+
+
+def _injector_collect(world, injector, **_):
+    return injector.sent
+
+
+def _incast_components(arch: Architecture, fan_in: int,
+                       rate_pps: float, duration_usec: float,
+                       warmup_usec: float) -> List:
+    """The incast rack as a component declaration (node names follow
+    :func:`repro.net.topology.incast_spec`)."""
+    components = [HostComponent(
+        "server", "server", build=_incast_server_build,
+        collect=_incast_server_collect,
+        kwargs={"arch": arch.value, "duration_usec": duration_usec,
+                "warmup_usec": warmup_usec})]
+    for i in range(fan_in):
+        components.append(SourceComponent(
+            f"client{i}", f"client{i}", build=_incast_client_build,
+            collect=_injector_collect,
+            kwargs={"index": i, "rate_pps": rate_pps}))
+    return components
+
+
+# ----------------------------------------------------------------------
 # N -> 1 incast
 # ----------------------------------------------------------------------
 def run_incast_point(arch: Architecture, fan_in: int,
@@ -86,103 +182,64 @@ def run_incast_point(arch: Architecture, fan_in: int,
                      duration_usec: float = 1_000_000.0,
                      warmup_usec: float = 200_000.0,
                      seed: int = 5,
-                     topology: Optional[TopologySpec] = None) -> Dict:
-    """One (architecture, fan-in) incast measurement."""
+                     topology: Optional[TopologySpec] = None,
+                     shards: int = 1,
+                     shard_mode: str = "auto") -> Dict:
+    """One (architecture, fan-in) incast measurement.
+
+    *shards* > 1 runs the identical component scenario under the
+    conservative-time sharded engine; every reported number is
+    invariant to the shard count (the PDES parity tests pin this).
+    """
     arch = Architecture(arch)
     spec = topology if topology is not None else incast_spec(fan_in)
-    bed = Testbed(seed=seed, topology=spec)
-    server = bed.add_host(INCAST_SERVER_ADDR, arch, name="server")
+    engine = ShardedEngine(
+        spec, _incast_components(arch, fan_in, rate_pps,
+                                 duration_usec, warmup_usec),
+        shards=shards, mode=shard_mode)
+    run = engine.run(duration_usec, seed=seed)
 
-    recorder = LatencyRecorder()
-
-    def on_rx(stamp, dgram):
-        recorder.record(bed.sim.now - stamp, now=bed.sim.now)
-
-    server.spawn("incast-sink",
-                 udp_blast_sink(INCAST_PORT, on_receive=on_rx))
-
-    injectors = []
-    for i in range(fan_in):
-        injector = RawUdpInjector(
-            bed.sim, bed.network, f"10.0.0.{INCAST_CLIENT_BASE + i}",
-            INCAST_SERVER_ADDR, INCAST_PORT, src_port=20000 + i)
-        injectors.append(injector)
-        # Staggered starts de-phase the per-client packet trains, as
-        # independent client machines would be.
-        bed.sim.schedule(10_000.0 + 137.0 * i, injector.start,
-                         rate_pps)
-    bed.run(duration_usec)
-
-    window = duration_usec - warmup_usec
-    delivered = recorder.samples_since(warmup_usec)
-    tail = LatencyRecorder()
-    for sample in delivered:
-        tail.record(sample)
-
-    stack = server.stack
-    stats = stack.stats
-    # The channels' own counters cover every early discard (SOFT-LRP's
-    # ``drop_channel_early`` stat annotates the same events).
-    channel_drops = sum(ch.total_discards()
-                       for ch in stack.iter_channels())
-    topo = bed.network
+    server = run.collected["server"]
+    ledger = run.total_conservation()
     return {
         "fan_in": fan_in,
         "offered_pps": fan_in * rate_pps,
-        "goodput_pps": _num(len(delivered) * 1e6 / window),
-        "latency_p50_usec": _num(tail.percentile(50.0)),
-        "latency_p99_usec": _num(tail.percentile(99.0)),
-        "sent": sum(inj.sent for inj in injectors),
-        # The drop ledger, hop by hop.
-        "drop_switch": topo.drops_port_queue + topo.drops_red,
-        "drop_nic_ring": server.nic.rx_drops_ring,
-        "drop_ipq": stats.get("drop_ipq"),
-        "drop_channel": channel_drops,
-        "drop_sockq": (stats.get("drop_sockq")
-                       + stats.get("drop_early_sockq_full")),
-        "drop_mbufs": stats.get("drop_mbufs"),
+        "goodput_pps": server["goodput_pps"],
+        "latency_p50_usec": server["latency_p50_usec"],
+        "latency_p99_usec": server["latency_p99_usec"],
+        "sent": sum(run.collected[f"client{i}"]
+                    for i in range(fan_in)),
+        # The drop ledger, hop by hop (fabric counters fold across
+        # shards; host counters come from the server's component).
+        "drop_switch": (ledger["drops_port_queue"]
+                        + ledger["drops_red"]),
+        "drop_nic_ring": server["drop_nic_ring"],
+        "drop_ipq": server["drop_ipq"],
+        "drop_channel": server["drop_channel"],
+        "drop_sockq": server["drop_sockq"],
+        "drop_mbufs": server["drop_mbufs"],
         "switch_peak_depth": max(
             (port["peak_depth"]
-             for sw in topo.hop_stats().values()
+             for shard_stats in run.hop_stats
+             for sw in shard_stats.values()
              for port in sw.values()), default=0),
-        "cpu_idle": _num(server.kernel.cpu.idle_time),
-        "events": bed.sim.events_processed,
+        "cpu_idle": server["cpu_idle"],
+        "events": run.events,
     }
 
 
 # ----------------------------------------------------------------------
 # Gateway -> backend chain
 # ----------------------------------------------------------------------
-def run_chain_point(arch: Architecture, flood_pps: float,
-                    daemon_nice: int = 0,
-                    duration_usec: float = 1_000_000.0,
-                    warmup_usec: float = 200_000.0,
-                    seed: int = 11,
-                    topology: Optional[TopologySpec] = None) -> Dict:
-    """One (gateway architecture, transit rate) chain measurement.
-
-    The gateway runs *arch* plus a local compute-bound application;
-    the backend runs SOFT-LRP so the far end never confounds the
-    gateway comparison.
-    """
-    arch = Architecture(arch)
-    spec = topology if topology is not None else gateway_chain_spec()
-    bed = Testbed(seed=seed, topology=spec)
+def _chain_gateway_build(world, arch, daemon_nice, **_):
     gateway, daemon = build_gateway(
-        bed.sim, bed.network, CHAIN_GW_A, CHAIN_GW_B, arch,
-        nice=daemon_nice, costs=bed.costs)
-    bed.adopt(gateway)
-    backend = bed.add_host(CHAIN_BACKEND_ADDR, Architecture.SOFT_LRP,
-                           name="backend")
+        world.sim, world.fabric, CHAIN_GW_A, CHAIN_GW_B,
+        Architecture(arch), nice=daemon_nice, costs=world.costs)
+    world.adopt(gateway)
+    return {"gateway": gateway, "daemon": daemon}
 
-    recorder = LatencyRecorder()
 
-    def on_rx(stamp, dgram):
-        recorder.record(bed.sim.now - stamp, now=bed.sim.now)
-
-    backend.spawn("chain-sink",
-                  udp_blast_sink(CHAIN_PORT, on_receive=on_rx))
-
+def _chain_gateway_start(world, state, **_):
     progress = [0]
 
     def local_app():
@@ -190,39 +247,113 @@ def run_chain_point(arch: Architecture, flood_pps: float,
             yield Compute(1_000.0)
             progress[0] += 1
 
-    app = gateway.spawn("local-app", local_app())
+    state["app"] = state["gateway"].spawn("local-app", local_app())
+    state["progress"] = progress
 
-    injector = RawUdpInjector(bed.sim, bed.network, CHAIN_CLIENT_ADDR,
-                              CHAIN_BACKEND_ADDR, CHAIN_PORT,
-                              next_hop=CHAIN_GW_A)
-    bed.sim.schedule(10_000.0, injector.start, flood_pps)
-    bed.run(duration_usec)
 
-    window = duration_usec - warmup_usec
-    delivered = recorder.samples_since(warmup_usec)
-    tail = LatencyRecorder()
-    for sample in delivered:
-        tail.record(sample)
-
+def _chain_gateway_collect(world, state, duration_usec, **_):
+    gateway, daemon = state["gateway"], state["daemon"]
+    app, progress = state["app"], state["progress"]
     forwarded = gateway.stack.stats.get("ip_forwarded")
     return {
-        "flood_pps": flood_pps,
-        "daemon_nice": daemon_nice,
-        # Goodput at each hop of the chain.
-        "offered_pps": flood_pps,
-        "forwarded_pps": _num(forwarded * 1e6 / bed.sim.now),
-        "delivered_pps": _num(len(delivered) * 1e6 / window),
-        "latency_p50_usec": _num(tail.percentile(50.0)),
-        "latency_p99_usec": _num(tail.percentile(99.0)),
+        "forwarded_pps": _num(forwarded * 1e6 / world.sim.now),
         "app_share": _num(progress[0] * 1_000.0 / duration_usec, 3),
         "app_interrupt_bill_ms": _num(app.intr_time_charged / 1e3),
         "daemon_cpu_ms": (None if daemon is None
                           else _num(daemon.proc.cpu_time / 1e3)),
         "fwd_channel_drops": (0 if daemon is None
                               else daemon.channel.total_discards()),
-        "drop_switch": (bed.network.drops_port_queue
-                        + bed.network.drops_red),
-        "events": bed.sim.events_processed,
+    }
+
+
+def _chain_backend_build(world, **_):
+    backend = world.add_host(CHAIN_BACKEND_ADDR,
+                             Architecture.SOFT_LRP, name="backend")
+    return _latency_sink(world, backend, "chain-sink", CHAIN_PORT)
+
+
+def _chain_backend_collect(world, recorder, duration_usec,
+                           warmup_usec, **_):
+    stats = _tail_stats(recorder, duration_usec, warmup_usec)
+    return {"delivered_pps": stats["goodput_pps"],
+            "latency_p50_usec": stats["latency_p50_usec"],
+            "latency_p99_usec": stats["latency_p99_usec"]}
+
+
+def _chain_client_build(world, flood_pps, **_):
+    injector = RawUdpInjector(world.sim, world.fabric,
+                              CHAIN_CLIENT_ADDR, CHAIN_BACKEND_ADDR,
+                              CHAIN_PORT, next_hop=CHAIN_GW_A)
+    world.sim.schedule(10_000.0, injector.start, flood_pps)
+    return injector
+
+
+def _chain_components(arch: Architecture, flood_pps: float,
+                      daemon_nice: int, duration_usec: float,
+                      warmup_usec: float) -> List:
+    """The gateway chain as a component declaration (node names follow
+    :func:`repro.net.topology.gateway_chain_spec`)."""
+    timing = {"duration_usec": duration_usec,
+              "warmup_usec": warmup_usec}
+    return [
+        HostComponent("gateway", "gateway",
+                      build=_chain_gateway_build,
+                      start=_chain_gateway_start,
+                      collect=_chain_gateway_collect,
+                      kwargs={"arch": arch.value,
+                              "daemon_nice": daemon_nice, **timing}),
+        HostComponent("backend", "backend",
+                      build=_chain_backend_build,
+                      collect=_chain_backend_collect, kwargs=timing),
+        SourceComponent("client", "client",
+                        build=_chain_client_build,
+                        collect=_injector_collect,
+                        kwargs={"flood_pps": flood_pps}),
+    ]
+
+
+def run_chain_point(arch: Architecture, flood_pps: float,
+                    daemon_nice: int = 0,
+                    duration_usec: float = 1_000_000.0,
+                    warmup_usec: float = 200_000.0,
+                    seed: int = 11,
+                    topology: Optional[TopologySpec] = None,
+                    shards: int = 1,
+                    shard_mode: str = "auto") -> Dict:
+    """One (gateway architecture, transit rate) chain measurement.
+
+    The gateway runs *arch* plus a local compute-bound application;
+    the backend runs SOFT-LRP so the far end never confounds the
+    gateway comparison.  *shards* > 1 runs the same components under
+    the sharded engine; results are shard-count invariant.
+    """
+    arch = Architecture(arch)
+    spec = topology if topology is not None else gateway_chain_spec()
+    engine = ShardedEngine(
+        spec, _chain_components(arch, flood_pps, daemon_nice,
+                                duration_usec, warmup_usec),
+        shards=shards, mode=shard_mode)
+    run = engine.run(duration_usec, seed=seed)
+
+    gateway = run.collected["gateway"]
+    backend = run.collected["backend"]
+    ledger = run.total_conservation()
+    return {
+        "flood_pps": flood_pps,
+        "daemon_nice": daemon_nice,
+        # Goodput at each hop of the chain.
+        "offered_pps": flood_pps,
+        "forwarded_pps": gateway["forwarded_pps"],
+        "delivered_pps": backend["delivered_pps"],
+        "latency_p50_usec": backend["latency_p50_usec"],
+        "latency_p99_usec": backend["latency_p99_usec"],
+        "app_share": gateway["app_share"],
+        "app_interrupt_bill_ms": gateway["app_interrupt_bill_ms"],
+        "daemon_cpu_ms": gateway["daemon_cpu_ms"],
+        "fwd_channel_drops": gateway["fwd_channel_drops"],
+        "drop_switch": (ledger["drops_port_queue"]
+                        + ledger["drops_red"]),
+        "events": run.events,
     }
 
 
@@ -233,9 +364,15 @@ def run_experiment(
         chain_rates: Sequence[float] = DEFAULT_CHAIN_RATES,
         systems: Sequence[Architecture] = MAIN_SYSTEMS,
         duration_usec: float = 1_000_000.0,
-        runner: Optional[SweepRunner] = None) -> Dict:
+        runner: Optional[SweepRunner] = None,
+        shards: int = 1) -> Dict:
     """The full cluster sweep: incast fan-in × architecture, then the
-    gateway chain over transit rates."""
+    gateway chain over transit rates.
+
+    *shards* > 1 runs every point under the sharded engine; results
+    (and the sweep cache keys, which bind the shard count) are
+    otherwise identical to the sequential sweep.
+    """
     runner = runner or SweepRunner()
 
     incast_grid = [(arch, n) for arch in systems for n in fan_ins]
@@ -243,7 +380,7 @@ def run_experiment(
         run_incast_point,
         [dict(arch=arch, fan_in=n, rate_pps=rate_pps,
               duration_usec=duration_usec,
-              topology=incast_spec(n))
+              topology=incast_spec(n), shards=shards)
          for arch, n in incast_grid],
         label="cluster-incast")
 
@@ -251,7 +388,7 @@ def run_experiment(
     chain_points = runner.map(
         run_chain_point,
         [dict(arch=arch, flood_pps=r, duration_usec=duration_usec,
-              topology=gateway_chain_spec())
+              topology=gateway_chain_spec(), shards=shards)
          for arch, r in chain_grid],
         label="cluster-chain")
 
@@ -333,7 +470,8 @@ def report(result: Dict) -> str:
 
 
 def main(fast: bool = False,
-         runner: Optional[SweepRunner] = None) -> str:
+         runner: Optional[SweepRunner] = None,
+         shards: int = 1) -> str:
     fan_ins = (1, 4) if fast else DEFAULT_FAN_INS
     chain_rates = (2_000.0, 14_000.0) if fast \
         else DEFAULT_CHAIN_RATES
@@ -341,7 +479,8 @@ def main(fast: bool = False,
     text = report(run_experiment(fan_ins=fan_ins,
                                  chain_rates=chain_rates,
                                  duration_usec=duration,
-                                 runner=runner))
+                                 runner=runner,
+                                 shards=shards))
     print(text)
     return text
 

@@ -40,6 +40,20 @@ topology (``FaultPlane.attach_network``) sees every frame once at its
 source access link, exactly like the flat LAN; a plane attached to one
 edge with :meth:`Topology.attach_link_fault_plane` disturbs only the
 frames traversing that edge.
+
+Sharding invariants (the PDES contract, docs/PDES.md): a
+:class:`Topology` built with ``owned_nodes`` instantiates ports and
+switches only for the owned subset of the graph; a frame whose next
+hop crosses the ownership boundary is handed to the ``boundary``
+callback (timestamped with its would-be arrival time) instead of being
+scheduled locally, and :meth:`Topology.import_frame` re-injects frames
+arriving from other shards.  The hand-off happens *synchronously
+inside* :meth:`OutPort._service`, so the owned-case schedule-call
+order — and therefore every golden trace of an unsharded run — is
+bit-identical to the pre-sharding code.  Conservation extends across
+the cut: per-shard ledgers gain ``exported``/``imported`` counts and
+the global invariant becomes ``sent + duplicated + imported ==
+delivered + drops + in_flight + exported`` summed over shards.
 """
 
 from __future__ import annotations
@@ -121,8 +135,12 @@ class TopologySpec:
                     seen.append(end)
         return tuple(seen)
 
-    def build(self, sim: Simulator) -> "Topology":
-        return Topology(sim, self)
+    def build(self, sim: Simulator, owned_nodes=None,
+              boundary=None) -> "Topology":
+        """Instantiate the runtime graph; *owned_nodes*/*boundary*
+        restrict it to one shard's slice (see :class:`Topology`)."""
+        return Topology(sim, self, owned_nodes=owned_nodes,
+                        boundary=boundary)
 
 
 # ----------------------------------------------------------------------
@@ -201,6 +219,48 @@ def incast_spec(fan_in: int, server_addr: str = "10.0.0.1",
                              red_start=red_start),),
         links=tuple(links),
         bindings=tuple(bindings))
+
+
+def incast_grid_spec(racks: int, fan_in: int,
+                     queue_frames: int = DEFAULT_PORT_QUEUE,
+                     core_propagation_usec: float = 50.0,
+                     **link_kwargs) -> TopologySpec:
+    """A rack grid: *racks* independent incast racks behind one core.
+
+    Each rack ``r`` has its own switch ``rack<r>``, one server
+    (``10.<r+1>.0.1``) and *fan_in* clients (``10.<r+1>.0.10+i``); all
+    rack switches uplink to a single ``core`` switch.  Traffic in the
+    canonical workload stays rack-local, so the only inter-rack
+    coupling is the (idle) core — the topology the sharded engine's
+    lookahead exploits best, and the scenario ``repro.bench`` uses to
+    measure multi-shard scaling (one rack per shard partitions with
+    zero cross-shard frames).
+    """
+    if racks < 1 or fan_in < 1:
+        raise ValueError(
+            f"racks and fan_in must be >= 1, got {racks}, {fan_in}")
+    links: List[LinkSpec] = []
+    bindings: List[BindingSpec] = []
+    switches: List[SwitchSpec] = [SwitchSpec("core",
+                                             queue_frames=queue_frames)]
+    for r in range(racks):
+        sw = f"rack{r}"
+        switches.append(SwitchSpec(sw, queue_frames=queue_frames))
+        links.append(LinkSpec("core", sw,
+                              propagation_usec=core_propagation_usec,
+                              **link_kwargs))
+        server = f"server{r}"
+        links.append(LinkSpec(sw, server, **link_kwargs))
+        bindings.append(BindingSpec(f"10.{r + 1}.0.1", server))
+        for i in range(fan_in):
+            node = f"client{r}x{i}"
+            links.append(LinkSpec(node, sw, **link_kwargs))
+            bindings.append(
+                BindingSpec(f"10.{r + 1}.0.{10 + i}", node))
+    return TopologySpec(name=f"incast-grid-{racks}x{fan_in}",
+                        switches=tuple(switches),
+                        links=tuple(links),
+                        bindings=tuple(bindings))
 
 
 # ----------------------------------------------------------------------
@@ -360,12 +420,12 @@ class OutPort:
                 self.queue.append((dup, dst_key, self.classify(dup)))
                 self.topology._in_flight += 1
         link.frames += 1
-        sim = self.topology.sim
-        sim.schedule_detached(
-            tx_time + link.propagation + extra_delay,
-            self.topology._arrive, link.other(self.node), frame,
-            dst_key)
-        sim.schedule_detached(tx_time, self._service)
+        # The topology decides whether the hop stays local or crosses
+        # a shard boundary; the call is synchronous so the owned-case
+        # schedule order is identical to scheduling _arrive inline.
+        self.topology._transmit(self, frame, dst_key, tx_time,
+                                extra_delay)
+        self.topology.sim.schedule_detached(tx_time, self._service)
 
 
 class Switch:
@@ -401,9 +461,21 @@ class Topology:
     (``attach`` / ``send`` / ``bandwidth`` / ``signalling`` plus the
     drop counters), while frames travel hop-by-hop through output
     queues and per-edge delays.
+
+    When *owned_nodes* is given (the sharded case; see docs/PDES.md),
+    only the owned slice of the graph is instantiated: ports and
+    switches exist for owned nodes alone, NICs may attach only at
+    owned nodes, and a frame transmitted toward an unowned neighbour
+    is handed to the *boundary* callback as
+    ``boundary(src_node, dst_node, arrival_time, frame, dst_key)``
+    instead of being scheduled locally.  Routing tables still cover
+    the whole graph — forwarding decisions must be identical on every
+    shard.  With *owned_nodes* ``None`` the behaviour (including every
+    schedule call and its order) is exactly the unsharded original.
     """
 
-    def __init__(self, sim: Simulator, spec: TopologySpec):
+    def __init__(self, sim: Simulator, spec: TopologySpec,
+                 owned_nodes=None, boundary=None):
         self.sim = sim
         self.spec = spec
         self.name = spec.name
@@ -411,10 +483,17 @@ class Topology:
         #: Whole-topology fault plane (``FaultPlane.attach_network``);
         #: consulted once per frame at the source access link.
         self.fault_plane = None
+        #: Shard ownership: ``None`` means the whole graph (unsharded).
+        self._owned = (frozenset(owned_nodes)
+                       if owned_nodes is not None else None)
+        self._boundary = boundary
+        if self._owned is not None and boundary is None:
+            raise ValueError("owned_nodes requires a boundary callback")
 
         self.links: List[Link] = [Link(ls) for ls in spec.links]
         self.switches: Dict[str, Switch] = {
-            s.name: Switch(self, s) for s in spec.switches}
+            s.name: Switch(self, s) for s in spec.switches
+            if self._owned is None or s.name in self._owned}
         self._adjacency: Dict[str, List[Tuple[str, Link]]] = {}
         for link in self.links:
             self._adjacency.setdefault(link.a, []).append((link.b, link))
@@ -429,8 +508,12 @@ class Topology:
 
         #: Per-node output ports, keyed (node, neighbour).  Host nodes
         #: get ports too: their access-link serialization happens here.
+        #: Sharded worlds build ports only for owned nodes (a cut
+        #: link's port belongs to the shard owning its sending side).
         self._ports: Dict[Tuple[str, str], OutPort] = {}
         for node, neighbours in self._adjacency.items():
+            if self._owned is not None and node not in self._owned:
+                continue
             switch = self.switches.get(node)
             for neighbour, link in neighbours:
                 if switch is not None:
@@ -469,6 +552,9 @@ class Topology:
         self.drops_fault = 0
         self.dup_frames = 0
         self._in_flight = 0
+        # Cross-shard ledger (always 0 in an unsharded world).
+        self.frames_exported = 0
+        self.frames_imported = 0
 
     # ------------------------------------------------------------------
     # Network-compatible surface
@@ -498,6 +584,11 @@ class Topology:
             raise ValueError(
                 f"no binding for {IPAddr(addr)} in topology "
                 f"{self.name!r}; declare it in TopologySpec.bindings")
+        if self._owned is not None and node not in self._owned:
+            raise ValueError(
+                f"address {IPAddr(addr)} binds at node {node!r}, "
+                f"which this shard does not own — build its host in "
+                f"the component owning {node!r}")
         self._nics[key] = nic
         self._node_of[key] = node
 
@@ -563,6 +654,39 @@ class Topology:
             self.drops_no_route += 1
             return False
         return self._ports[(node, next_hop)].enqueue(frame, dst_key)
+
+    def _transmit(self, port: OutPort, frame: Frame, dst_key: int,
+                  tx_time: float, extra_delay: float) -> None:
+        """Complete one hop's transmission from *port*.
+
+        The arrival lands ``tx_time + propagation + extra_delay``
+        after now — scheduled locally when the receiving node is
+        owned, exported through the shard boundary otherwise.  The
+        exported timestamp is the absolute arrival time; propagation
+        delay is what makes it strictly ahead of the sender's clock
+        (the conservative lookahead).
+        """
+        link = port.link
+        target = link.other(port.node)
+        delay = tx_time + link.propagation + extra_delay
+        if self._owned is None or target in self._owned:
+            self.sim.schedule_detached(delay, self._arrive, target,
+                                       frame, dst_key)
+            return
+        self._in_flight -= 1
+        self.frames_exported += 1
+        self._boundary(port.node, target, self.sim.now + delay,
+                       frame, dst_key)
+
+    def import_frame(self, time: float, node: str, frame: Frame,
+                     dst_key: int) -> None:
+        """Accept a frame exported by another shard: it arrives at
+        owned *node* at absolute *time* (never earlier than the
+        current clock — conservative sync guarantees it)."""
+        self._in_flight += 1
+        self.frames_imported += 1
+        self.sim.schedule_at_detached(time, self._arrive, node, frame,
+                                      dst_key)
 
     def _arrive(self, node: str, frame: Frame, dst_key: int) -> None:
         dst_node = self._bindings.get(dst_key)
@@ -652,8 +776,11 @@ class Topology:
         return self._in_flight
 
     def conservation(self) -> Dict[str, int]:
-        """Every injected frame accounted for: sent + duplicates ==
-        delivered + drops(by cause) + in flight."""
+        """Every injected frame accounted for: sent + duplicates +
+        imported == delivered + drops(by cause) + in flight +
+        exported.  The cross-shard terms are 0 in an unsharded world;
+        summed over all shards they cancel, restoring the global
+        invariant (asserted by the PDES parity tests)."""
         return {
             "sent": self.frames_sent,
             "duplicated": self.dup_frames,
@@ -663,6 +790,8 @@ class Topology:
             "drops_red": self.drops_red,
             "drops_fault": self.drops_fault,
             "in_flight": self._in_flight,
+            "exported": self.frames_exported,
+            "imported": self.frames_imported,
         }
 
     def hop_stats(self) -> Dict[str, Dict[str, Dict[str, int]]]:

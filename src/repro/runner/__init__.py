@@ -29,6 +29,8 @@ from repro.runner.cache import (
     canonicalize,
     default_cache_dir,
     point_digest,
+    shards_identity,
+    topology_identity,
 )
 from repro.runner.progress import ProgressReporter, format_eta
 from repro.runner.sweep import SweepRunner
@@ -44,4 +46,6 @@ __all__ = [
     "default_cache_dir",
     "format_eta",
     "point_digest",
+    "shards_identity",
+    "topology_identity",
 ]

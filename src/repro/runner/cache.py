@@ -121,6 +121,22 @@ def topology_identity(kwargs: Dict[str, Any]) -> Optional[str]:
     return getattr(topology, "name", None)
 
 
+def shards_identity(kwargs: Dict[str, Any]) -> int:
+    """The shard count bound in a point's parameters (1 when the
+    point function has no ``shards`` parameter).
+
+    Recorded in sweep logs alongside :func:`topology_identity` so a
+    logged point pins the execution configuration that produced it.
+    Results are shard-count *invariant* by contract (docs/PDES.md),
+    but the cache key still binds ``shards`` — through the full
+    bound-parameter canonicalization in :func:`point_digest` — so a
+    parity regression can never be masked by a stale cache entry
+    served across differing shard configs.
+    """
+    shards = kwargs.get("shards", 1)
+    return shards if isinstance(shards, int) else 1
+
+
 def point_digest(fn: Callable, kwargs: Dict[str, Any],
                  costs: Optional[CostModel] = None) -> str:
     """The content address of one sweep point (SHA-256 hex digest)."""

@@ -46,6 +46,7 @@ from repro.runner.cache import (
     ResultCache,
     canonicalize,
     point_digest,
+    shards_identity,
     topology_identity,
 )
 from repro.runner.progress import ProgressReporter
@@ -382,6 +383,7 @@ class SweepRunner:
             "fn": f"{fn.__module__}.{fn.__qualname__}",
             "digest": digest,
             "topology": topology_identity(kwargs),
+            "shards": shards_identity(kwargs),
             "params": canonicalize(kwargs),
             "cached": False,
             "wall_clock_sec": round(wall_sec, 6),
@@ -416,6 +418,7 @@ class SweepRunner:
             "fn": f"{fn.__module__}.{fn.__qualname__}",
             "digest": digest,
             "topology": topology_identity(kwargs),
+            "shards": shards_identity(kwargs),
             "params": canonicalize(kwargs),
             "cached": cached,
             "wall_clock_sec": round(wall_sec, 6),

@@ -44,10 +44,13 @@ TCP_BYTES = 4096
 #: pinning the fault plane's event order — injection points, checksum
 #: drops, and TCP loss recovery — into the regression surface.
 #: Multi-host keys: canonical switched-topology workloads (an incast
-#: rack and a gateway chain) whose digests pin the topology layer's
-#: event order — switch enqueues, output-queue drops, per-hop delays —
-#: alongside the stacks'.
-CLUSTER_KEYS = ("cluster-incast", "cluster-chain")
+#: rack, a gateway chain, and a fault-injected incast) whose digests
+#: pin the topology layer's event order — switch enqueues,
+#: output-queue drops, per-hop delays, per-edge fault injection —
+#: alongside the stacks'.  Declared through the PDES component
+#: contract (:func:`cluster_world`) so the same workloads double as
+#: the sharded engine's parity fixtures.
+CLUSTER_KEYS = ("cluster-incast", "cluster-chain", "cluster-faults")
 
 GOLDEN_ARCHES = ("bsd", "soft-lrp", "ni-lrp",
                  "bsd-faults", "soft-lrp-faults", "ni-lrp-faults") \
@@ -77,61 +80,181 @@ def _golden_fault_plan():
     ))
 
 
-def _run_cluster_incast(tracer: Tracer) -> Tracer:
-    """4→1 incast through a deliberately slow switched fabric: the
-    uplink saturates at ~2.4k pkts/sec against 6k offered, so the
-    digest pins switch enqueue/drop order under sustained overflow."""
+# ----------------------------------------------------------------------
+# Cluster workloads as component declarations
+#
+# The multi-host goldens are declared through the PDES component
+# contract (repro.engine.component) so the identical declaration runs
+# unsharded (here, pinning the byte-exact digests) and sharded
+# (repro.engine.sharded, whose one-shard runs must reproduce these
+# digests and whose multi-shard runs must match them on the
+# timestamp-canonical parity digest).  All hooks are module-level:
+# they cross process boundaries by reference when a run is sharded.
+# ----------------------------------------------------------------------
+def _build_incast_server(world):
     from repro.apps import udp_blast_sink
-    from repro.core import Architecture, build_host
-    from repro.engine.simulator import Simulator
-    from repro.net.topology import incast_spec
+    from repro.core import Architecture
+
+    host = world.add_host("10.0.0.1", Architecture.SOFT_LRP)
+    host.spawn("incast-sink", udp_blast_sink(9000))
+    return host
+
+
+def _build_incast_client(world, index, rate_pps):
     from repro.workloads import RawUdpInjector
 
-    sim = Simulator(seed=GOLDEN_SEED, tracer=tracer)
-    topo = incast_spec(4, queue_frames=8,
-                       bandwidth_bits_per_usec=2.0).build(sim)
-    server = build_host(sim, topo, "10.0.0.1", Architecture.SOFT_LRP)
-    server.spawn("incast-sink", udp_blast_sink(9000))
-    for i in range(4):
-        injector = RawUdpInjector(sim, topo, f"10.0.0.{10 + i}",
-                                  "10.0.0.1", 9000,
-                                  src_port=20000 + i)
-        sim.schedule(5_000.0 + 137.0 * i, injector.start, 1_500.0)
-    sim.run_until(GOLDEN_DURATION)
-    return tracer
+    injector = RawUdpInjector(world.sim, world.fabric,
+                              f"10.0.0.{10 + index}", "10.0.0.1",
+                              9000, src_port=20000 + index)
+    world.sim.schedule(5_000.0 + 137.0 * index, injector.start,
+                       rate_pps)
+    return injector
 
 
-def _run_cluster_chain(tracer: Tracer) -> Tracer:
-    """Transit flood across the gateway chain: a SOFT-LRP gateway
-    forwards client→backend traffic through two switches while running
-    a local application, pinning the forwarding daemon's scheduling
-    interleave and every hop's event order."""
-    from repro.apps import udp_blast_sink
-    from repro.core import Architecture, build_host
+def _build_chain_gateway(world):
+    from repro.core import Architecture
     from repro.core.forwarding import build_gateway
-    from repro.engine.process import Compute
-    from repro.engine.simulator import Simulator
-    from repro.net.topology import gateway_chain_spec
-    from repro.workloads import RawUdpInjector
 
-    sim = Simulator(seed=GOLDEN_SEED, tracer=tracer)
-    topo = gateway_chain_spec().build(sim)
-    gateway, _daemon = build_gateway(sim, topo, "10.0.0.254",
-                                     "10.0.1.254",
+    gateway, _daemon = build_gateway(world.sim, world.fabric,
+                                     "10.0.0.254", "10.0.1.254",
                                      Architecture.SOFT_LRP)
-    backend = build_host(sim, topo, "10.0.1.1", Architecture.BSD)
-    backend.spawn("chain-sink", udp_blast_sink(9000))
+    return world.adopt(gateway)
+
+
+def _start_chain_gateway(world, gateway):
+    from repro.engine.process import Compute
 
     def local_app():
         while True:
             yield Compute(1_000.0)
 
     gateway.spawn("local-app", local_app())
-    injector = RawUdpInjector(sim, topo, "10.0.0.2", "10.0.1.1",
-                              9000, next_hop="10.0.0.254")
-    sim.schedule(5_000.0, injector.start, 2_000.0)
+
+
+def _build_chain_backend(world):
+    from repro.apps import udp_blast_sink
+    from repro.core import Architecture
+
+    backend = world.add_host("10.0.1.1", Architecture.BSD)
+    backend.spawn("chain-sink", udp_blast_sink(9000))
+    return backend
+
+
+def _build_chain_client(world):
+    from repro.workloads import RawUdpInjector
+
+    injector = RawUdpInjector(world.sim, world.fabric, "10.0.0.2",
+                              "10.0.1.1", 9000,
+                              next_hop="10.0.0.254")
+    world.sim.schedule(5_000.0, injector.start, 2_000.0)
+    return injector
+
+
+def _prepare_cluster_faults(world):
+    """Attach the golden fault plan to the client0 access edge.
+
+    A per-edge plane is consulted at exactly one output port (the
+    sending side of client0's only link), so its RNG stream advances
+    in client0's local frame order — identical under any partition,
+    which keeps this workload shardable.  Plane construction draws no
+    randomness and schedules nothing, so running this on every shard
+    is trace-silent.
+    """
+    from repro.faults import FaultPlane
+
+    plane = FaultPlane(world.sim, _golden_fault_plan())
+    world.fabric.attach_link_fault_plane("client0", "sw0", plane)
+
+
+def cluster_world(key: str):
+    """``(spec, components, prepare)`` declaring one cluster golden
+    workload; the single source for both the unsharded digest runs and
+    the sharded parity runs."""
+    from repro.engine.component import HostComponent, SourceComponent
+    from repro.net.topology import gateway_chain_spec, incast_spec
+
+    if key == "cluster-incast":
+        # 4→1 incast through a deliberately slow switched fabric: the
+        # uplink saturates at ~2.4k pkts/sec against 6k offered, so
+        # the digest pins switch enqueue/drop order under sustained
+        # overflow.
+        spec = incast_spec(4, queue_frames=8,
+                           bandwidth_bits_per_usec=2.0)
+        components = [HostComponent("server", "server",
+                                    build=_build_incast_server)]
+        for i in range(4):
+            components.append(SourceComponent(
+                f"client{i}", f"client{i}",
+                build=_build_incast_client,
+                kwargs={"index": i, "rate_pps": 1_500.0}))
+        return spec, components, None
+    if key == "cluster-chain":
+        # Transit flood across the gateway chain: a SOFT-LRP gateway
+        # forwards client→backend traffic through two switches while
+        # running a local application, pinning the forwarding daemon's
+        # scheduling interleave and every hop's event order.
+        spec = gateway_chain_spec()
+        components = [
+            HostComponent("gateway", "gateway",
+                          build=_build_chain_gateway,
+                          start=_start_chain_gateway),
+            HostComponent("backend", "backend",
+                          build=_build_chain_backend),
+            SourceComponent("client", "client",
+                            build=_build_chain_client),
+        ]
+        return spec, components, None
+    if key == "cluster-faults":
+        # 2→1 incast with the golden fault plan (loss + corruption)
+        # on client0's access edge: pins per-edge fault injection
+        # order in a switched, shardable world.
+        spec = incast_spec(2, queue_frames=8,
+                           bandwidth_bits_per_usec=2.0)
+        components = [HostComponent("server", "server",
+                                    build=_build_incast_server)]
+        for i in range(2):
+            components.append(SourceComponent(
+                f"client{i}", f"client{i}",
+                build=_build_incast_client,
+                kwargs={"index": i, "rate_pps": 1_500.0}))
+        return spec, components, _prepare_cluster_faults
+    raise KeyError(f"unknown cluster workload {key!r}")
+
+
+def _run_cluster(key: str, tracer: Tracer) -> Tracer:
+    """Unsharded digest run of one cluster workload: the exact event
+    order the golden files pin (and the one-shard sharded run must
+    reproduce byte-for-byte)."""
+    from repro.engine.component import (
+        ShardWorld,
+        cover_switches,
+        instantiate,
+    )
+    from repro.engine.simulator import Simulator
+
+    spec, components, prepare = cluster_world(key)
+    sim = Simulator(seed=GOLDEN_SEED, tracer=tracer)
+    world = ShardWorld(sim, spec, spec.build(sim))
+    if prepare is not None:
+        prepare(world)
+    instantiate(world, cover_switches(spec, components))
     sim.run_until(GOLDEN_DURATION)
     return tracer
+
+
+def run_cluster_sharded(key: str, shards: int = 1,
+                        mode: str = "auto",
+                        duration: float = GOLDEN_DURATION):
+    """Run a cluster golden workload through the sharded engine with
+    tracing; returns the :class:`~repro.engine.sharded.ShardedRun`.
+    The parity tests and the CI ``pdes-parity`` job compare its
+    digests against the committed goldens."""
+    from repro.engine.sharded import ShardedEngine
+
+    spec, components, prepare = cluster_world(key)
+    engine = ShardedEngine(spec, components, shards=shards, mode=mode,
+                           prepare=prepare, trace=True)
+    return engine.run(duration, seed=GOLDEN_SEED)
 
 
 def run_golden_workload(arch_key: str,
@@ -145,10 +268,8 @@ def run_golden_workload(arch_key: str,
 
     if tracer is None:
         tracer = Tracer(capacity=None)
-    if arch_key == "cluster-incast":
-        return _run_cluster_incast(tracer)
-    if arch_key == "cluster-chain":
-        return _run_cluster_chain(tracer)
+    if arch_key in CLUSTER_KEYS:
+        return _run_cluster(arch_key, tracer)
     sim = Simulator(seed=GOLDEN_SEED, tracer=tracer)
     network = Network(sim)
     fault_plane = None

@@ -1,0 +1,86 @@
+"""The sharded cluster benchmark: scenario parity and gate wiring.
+
+Timing numbers are machine-dependent and not asserted; what is pinned
+is that the benchmark's scenario is shard-count invariant, that the
+rack-affine placement really has zero cross-shard traffic, and that
+the perf gate reads (and back-compatibly skips) the new payload row.
+"""
+
+from repro.bench import BENCHMARKS, compare_results
+from repro.bench.cluster import (
+    BENCH_FAN_IN,
+    BENCH_RACKS,
+    grid_components,
+    rack_affine_assignment,
+    run_grid,
+)
+
+SHORT_USEC = 30_000.0
+
+
+def test_registered():
+    assert "cluster_incast" in BENCHMARKS
+
+
+def test_rack_affine_assignment_covers_everything():
+    names = {c.name for c in grid_components()}
+    for shards in (1, 2, BENCH_RACKS, BENCH_RACKS + 3):
+        groups = rack_affine_assignment(shards)
+        assert len(groups) == min(max(shards, 1), BENCH_RACKS)
+        placed = [n for group in groups for n in group]
+        assert sorted(placed) == sorted(names)
+        assert len(placed) == len(set(placed))
+
+
+def test_grid_scenario_is_shard_count_invariant():
+    one, _ = run_grid(1, duration_usec=SHORT_USEC)
+    two, _ = run_grid(2, duration_usec=SHORT_USEC, mode="inline")
+    assert two.events == one.events
+    assert two.collected == one.collected
+    # Rack-local traffic: the cut carries null messages only.
+    total = two.total_conservation()
+    assert total["exported"] == 0
+    assert total["imported"] == 0
+    delivered = sum(v for k, v in one.collected.items()
+                    if isinstance(k, str) and k.startswith("server")
+                    and isinstance(v, int))
+    assert delivered > 0
+
+
+def _payload(figure3_eps, cluster_eps=None, kops=1000.0):
+    results = {"figure3_point": {"per_arch": {
+        "4.4BSD": {"events_per_sec": figure3_eps}}}}
+    if cluster_eps is not None:
+        results["cluster_incast"] = {
+            "events_per_sec": cluster_eps,
+            "calibration_kops_per_sec": kops,
+        }
+    return {"schema": 1, "mode": "quick",
+            "calibration_kops_per_sec": kops, "results": results}
+
+
+class TestGateRow:
+    def test_cluster_row_joins_the_gate(self):
+        new = _payload(50_000.0, cluster_eps=100_000.0)
+        verdict = compare_results(new, new)
+        assert verdict["ok"] is True
+        archs = [row["arch"] for row in verdict["rows"]]
+        assert "cluster_incast@1shard" in archs
+
+    def test_cluster_regression_fails_the_gate(self):
+        new = _payload(50_000.0, cluster_eps=50_000.0)
+        old = _payload(50_000.0, cluster_eps=100_000.0)
+        verdict = compare_results(new, old)
+        assert verdict["ok"] is False
+        row = next(r for r in verdict["rows"]
+                   if r["arch"] == "cluster_incast@1shard")
+        assert row["regressed"] is True
+
+    def test_missing_cluster_row_is_skipped_both_ways(self):
+        with_row = _payload(50_000.0, cluster_eps=100_000.0)
+        without = _payload(50_000.0)
+        for new, old in ((with_row, without), (without, with_row)):
+            verdict = compare_results(new, old)
+            assert verdict["ok"] is True
+            archs = [row["arch"] for row in verdict["rows"]]
+            assert "cluster_incast@1shard" not in archs

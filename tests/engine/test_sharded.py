@@ -1,0 +1,92 @@
+"""The sharded engine's determinism and parity guarantees.
+
+Three claims from docs/PDES.md are pinned here:
+
+1. one shard is the *unsharded* engine — its raw trace digest is
+   byte-identical to the committed golden files;
+2. multi-shard runs are trace-equivalent to one-shard runs (the
+   timestamp-canonical parity digest and the per-event-type counts
+   match exactly), for the plain, the gateway-cycle, and the
+   fault-injected cluster workloads;
+3. the process transport and the in-process transport are the same
+   machine — identical parity digests — and experiment results built
+   on the engine are shard-count invariant dict-for-dict.
+"""
+
+import os
+
+import pytest
+
+from repro.core import Architecture
+from repro.engine.sharded import ShardedEngine
+from repro.experiments.cluster import run_chain_point, run_incast_point
+from repro.trace import golden
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "..", "golden")
+
+#: Short but non-trivial horizon for the heavier parity runs.
+SHORT_USEC = 40_000.0
+
+
+def run_sharded(key, shards, mode="inline",
+                duration=golden.GOLDEN_DURATION):
+    return golden.run_cluster_sharded(key, shards=shards, mode=mode,
+                                      duration=duration)
+
+
+@pytest.mark.parametrize("key", golden.CLUSTER_KEYS)
+def test_one_shard_reproduces_committed_golden(key):
+    run = run_sharded(key, shards=1)
+    committed = golden.load_golden(key, GOLDEN_DIR)
+    assert run.trace_digest is not None
+    assert run.trace_digest["order_hash"] == committed["order_hash"]
+    assert run.trace_digest["n"] == committed["n"]
+    assert run.trace_digest["counts"] == committed["counts"]
+
+
+@pytest.mark.parametrize("key", golden.CLUSTER_KEYS)
+@pytest.mark.parametrize("shards", (2, 3))
+def test_multi_shard_parity_with_one_shard(key, shards):
+    one = run_sharded(key, shards=1, duration=SHORT_USEC)
+    many = run_sharded(key, shards=shards, duration=SHORT_USEC)
+    assert many.parity == one.parity
+    assert sum(many.per_shard_events) == one.events
+    many.total_conservation()  # raises if any ledger is unbalanced
+
+
+def test_process_transport_matches_inline():
+    inline = run_sharded("cluster-incast", shards=2, mode="inline",
+                         duration=SHORT_USEC)
+    process = run_sharded("cluster-incast", shards=2, mode="process",
+                          duration=SHORT_USEC)
+    assert process.parity == inline.parity
+    assert process.per_shard_events == inline.per_shard_events
+    assert process.mode == "process"
+    assert inline.mode == "inline"
+
+
+def test_cross_shard_ledger_balances():
+    run = run_sharded("cluster-incast", shards=2, duration=SHORT_USEC)
+    total = run.total_conservation()
+    assert total["exported"] == total["imported"]
+    assert total["exported"] > 0  # the cut actually carries traffic
+
+
+class TestExperimentInvariance:
+    """Experiment points report identical dicts at any shard count."""
+
+    KW = dict(duration_usec=120_000.0, warmup_usec=30_000.0)
+
+    def test_incast_point(self):
+        one = run_incast_point(Architecture.SOFT_LRP, 2, **self.KW)
+        two = run_incast_point(Architecture.SOFT_LRP, 2, shards=2,
+                               shard_mode="inline", **self.KW)
+        assert one == two
+
+    def test_chain_point(self):
+        one = run_chain_point(Architecture.SOFT_LRP, 6_000.0,
+                              **self.KW)
+        two = run_chain_point(Architecture.SOFT_LRP, 6_000.0,
+                              shards=2, shard_mode="inline",
+                              **self.KW)
+        assert one == two

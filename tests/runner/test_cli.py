@@ -18,12 +18,31 @@ def tiny_main(fast=False, runner=None):
     return "tiny report"
 
 
+def sharded_main(fast=False, runner=None, shards=1):
+    return f"shards={shards}"
+
+
 @pytest.fixture
 def tiny_experiment(monkeypatch):
     stub = types.SimpleNamespace(__doc__="A tiny test experiment.",
                                  main=tiny_main)
     monkeypatch.setattr(cli, "EXPERIMENT_MODULES", {"tiny": stub})
     monkeypatch.setattr(cli, "EXPERIMENTS", {"tiny": tiny_main})
+
+
+@pytest.fixture
+def mixed_experiments(monkeypatch):
+    """One experiment that takes --shards, one that does not."""
+    modules = {
+        "tiny": types.SimpleNamespace(
+            __doc__="A tiny test experiment.", main=tiny_main),
+        "shardy": types.SimpleNamespace(
+            __doc__="A sharded test experiment.", main=sharded_main),
+    }
+    monkeypatch.setattr(cli, "EXPERIMENT_MODULES", modules)
+    monkeypatch.setattr(cli, "EXPERIMENTS",
+                        {name: mod.main
+                         for name, mod in modules.items()})
 
 
 class TestList:
@@ -58,6 +77,29 @@ class TestValidation:
         assert "unknown experiment 'nosuch'" in err
         assert "list" in err
         assert "figure3" in err
+
+
+class TestShardsFlag:
+    def test_shards_forwarded_to_supporting_experiments(
+            self, mixed_experiments, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        assert cli.main(["shardy", "--shards", "2",
+                         "--results-json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["invocation"]["shards"] == 2
+        assert payload["experiments"]["shardy"]["report"] \
+            == "shards=2"
+
+    def test_unsupporting_experiment_falls_back_with_note(
+            self, mixed_experiments, capsys):
+        assert cli.main(["tiny", "--shards", "2"]) == 0
+        err = capsys.readouterr().err
+        assert "does not support --shards" in err
+
+    def test_default_is_one_shard_no_note(self, mixed_experiments,
+                                          capsys):
+        assert cli.main(["tiny"]) == 0
+        assert "--shards" not in capsys.readouterr().err
 
 
 class TestResultsJson:

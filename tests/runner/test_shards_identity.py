@@ -1,0 +1,72 @@
+"""Shard count in cache keys and sweep logs.
+
+Sharded-engine results are shard-count *invariant* by contract, but
+an invariant is exactly what a cache must not assume: if a parity bug
+slipped in, a stale cache entry recorded at one shard count could
+mask it at another.  The cache key therefore binds ``shards`` (via
+the full parameter canonicalization), and the points log records the
+shard count next to the topology identity so every logged result pins
+the execution configuration that produced it.
+"""
+
+from repro.runner.cache import (
+    point_digest,
+    shards_identity,
+    topology_identity,
+)
+from repro.runner.sweep import SweepRunner
+from repro.net.topology import TopologySpec, incast_spec
+
+
+def sharded_point(x: int, topology: TopologySpec = None,
+                  shards: int = 1) -> dict:
+    return {"x": x, "shards": shards}
+
+
+def unsharded_point(x: int) -> dict:
+    return {"x": x}
+
+
+def test_digest_distinguishes_shard_counts():
+    base = point_digest(sharded_point, {"x": 1})
+    assert point_digest(sharded_point, {"x": 1, "shards": 2}) != base
+    # Default binding: omitting shards equals passing the default.
+    assert point_digest(sharded_point, {"x": 1, "shards": 1}) == base
+
+
+def test_shards_identity_helper():
+    assert shards_identity({"shards": 2}) == 2
+    assert shards_identity({"x": 1}) == 1
+    assert shards_identity({"shards": None}) == 1
+
+
+def test_points_log_records_shards_with_topology():
+    runner = SweepRunner()
+    runner.map(sharded_point, [
+        {"x": 1, "topology": incast_spec(2), "shards": 2},
+        {"x": 2, "topology": incast_spec(2)},
+    ], label="probe")
+    logged = {entry["params"]["x"]: entry
+              for entry in runner.points_log}
+    assert logged[1]["shards"] == 2
+    assert logged[2]["shards"] == 1
+    assert logged[1]["topology"] == "incast-2to1"
+
+
+def test_points_log_defaults_shards_for_unsharded_points():
+    runner = SweepRunner()
+    runner.map(unsharded_point, [{"x": 5}], label="probe")
+    assert runner.points_log[0]["shards"] == 1
+
+
+def test_failed_points_also_record_shards():
+    runner = SweepRunner()
+    results = runner.map(_exploding_point, [{"shards": 3}],
+                         label="boom")
+    assert results == [None]
+    assert runner.points_log[0]["shards"] == 3
+    assert runner.points_log[0]["error"]
+
+
+def _exploding_point(shards: int = 1) -> dict:
+    raise RuntimeError("boom")
