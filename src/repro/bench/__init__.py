@@ -16,6 +16,10 @@ assumed.  It times the engine's hot paths in isolation and end-to-end:
   counts 1 and 2, reporting events/sec per shard count.  The
   one-shard row joins the perf gate; multi-shard rows record the
   scaling story (meaningful only where the runner has the cores).
+* ``checkpoint_overhead`` — wall-clock cost of supervised epoch
+  checkpointing (fork snapshots at conservative-sync barriers) vs the
+  same supervised run without them; gated self-relatively at
+  :data:`~repro.bench.cluster.CHECKPOINT_OVERHEAD_GATE` (<5%).
 
 Results are written as machine-readable ``BENCH_*.json``.  Because
 absolute events/sec depends on the host, every run also measures a
@@ -41,7 +45,11 @@ from repro.bench.micro import (
     bench_mbuf_pool,
     bench_packet_roundtrip,
 )
-from repro.bench.cluster import bench_cluster_incast
+from repro.bench.cluster import (
+    CHECKPOINT_OVERHEAD_GATE,
+    bench_checkpoint_overhead,
+    bench_cluster_incast,
+)
 from repro.bench.figure3_point import bench_figure3_point
 
 #: Regression threshold for the CI gate: fail when normalized
@@ -56,6 +64,7 @@ BENCHMARKS = {
     "packet_roundtrip": bench_packet_roundtrip,
     "figure3_point": bench_figure3_point,
     "cluster_incast": bench_cluster_incast,
+    "checkpoint_overhead": bench_checkpoint_overhead,
 }
 
 
@@ -176,6 +185,27 @@ def compare_results(new: Dict[str, Any], baseline: Dict[str, Any],
             "baseline_events_per_sec": round(raw_old, 1),
             "raw_speedup": round(raw_new / raw_old, 3) if raw_old else None,
             "normalized_speedup": round(ratio, 3),
+            "regressed": regressed,
+        })
+    # Checkpoint overhead is gated *self-relatively*: the fresh run
+    # alone proves (or disproves) that epoch checkpointing costs under
+    # CHECKPOINT_OVERHEAD_GATE of supervised wall clock — a baseline
+    # comparison would only launder a regression through an equally
+    # slow baseline.
+    overhead_row = new["results"].get("checkpoint_overhead")
+    if overhead_row is not None:
+        gate = overhead_row.get("gate_threshold",
+                                CHECKPOINT_OVERHEAD_GATE)
+        overhead = overhead_row["overhead_fraction"]
+        regressed = overhead > gate
+        ok = ok and not regressed
+        rows.append({
+            "arch": "checkpoint_overhead",
+            "overhead_fraction": overhead,
+            "gate_threshold": gate,
+            "plain_wall_sec": overhead_row["plain_wall_sec"],
+            "checkpoint_wall_sec":
+                overhead_row["checkpoint_wall_sec"],
             "regressed": regressed,
         })
     return {"ok": ok, "threshold": threshold, "rows": rows}

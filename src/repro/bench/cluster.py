@@ -223,3 +223,89 @@ def bench_cluster_incast(quick: bool = False,
         "wall_sec": one["wall_sec"],
         "events_per_sec": one["events_per_sec"],
     }
+
+
+#: Self-relative gate on supervised checkpointing: the epoch-
+#: checkpointed run may cost at most this fraction over the same run
+#: supervised without checkpoints (docs/PDES.md, "Fault tolerance").
+CHECKPOINT_OVERHEAD_GATE = 0.05
+
+
+def _run_supervised(duration_usec: float, epoch_usec: float,
+                    seed: int = BENCH_SEED):
+    """One supervised one-shard grid run; ``(run, wall_sec)``.
+
+    ``epoch_usec == 0`` disables checkpointing, so the pair isolates
+    exactly the checkpoint machinery: epoch grant slicing, the
+    per-epoch fork snapshot, and dormant-child bookkeeping.
+    """
+    from repro.engine.checkpoint import CheckpointPolicy
+    from repro.engine.supervisor import SupervisorPolicy
+
+    spec = incast_grid_spec(
+        BENCH_RACKS, BENCH_FAN_IN,
+        core_propagation_usec=CORE_PROPAGATION_USEC)
+    engine = ShardedEngine(
+        spec, grid_components(), shards=1, mode="process",
+        assignment=rack_affine_assignment(1))
+    policy = SupervisorPolicy(
+        checkpoint=CheckpointPolicy(epoch_usec=epoch_usec))
+    started = time.perf_counter()
+    run = engine.run_supervised(duration_usec, seed=seed,
+                                policy=policy)
+    return run, time.perf_counter() - started
+
+
+def bench_checkpoint_overhead(quick: bool = False) -> Dict[str, Any]:
+    """Wall-clock cost of epoch checkpointing on the incast grid.
+
+    Runs the one-shard grid under the supervisor twice per repeat —
+    with epoch checkpoints and without — *interleaved*, and compares
+    best-of-repeats wall clocks (interleaving decorrelates machine
+    drift; best-of filters scheduler noise, the dominant error on a
+    busy runner).  The quick mode checkpoints every quarter of the
+    window, the full mode every eighth, so both cross several fork
+    snapshots.  ``overhead_fraction`` is gated self-relatively at
+    :data:`CHECKPOINT_OVERHEAD_GATE` by
+    :func:`repro.bench.compare_results` — no baseline needed, because
+    the claim under test ("checkpoints are nearly free") is a property
+    of the fresh build alone.
+    """
+    duration = QUICK_DURATION_USEC if quick else FULL_DURATION_USEC
+    epochs = 4 if quick else 8
+    epoch_usec = duration / epochs
+    repeats = 4 if quick else 3
+
+    plain_walls: List[float] = []
+    ckpt_walls: List[float] = []
+    checkpoints = events = None
+    for _ in range(repeats):
+        run, wall = _run_supervised(duration, 0.0)
+        plain_walls.append(wall)
+        if events is None:
+            events = run.events
+        elif run.events != events:
+            raise AssertionError(
+                f"supervised run not deterministic: {run.events} "
+                f"events != {events}")
+        run, wall = _run_supervised(duration, epoch_usec)
+        ckpt_walls.append(wall)
+        checkpoints = run.checkpoints
+        if run.events != events:
+            raise AssertionError(
+                f"checkpointed run diverged: {run.events} events "
+                f"!= {events}")
+    best_plain = min(plain_walls)
+    best_ckpt = min(ckpt_walls)
+    overhead = (best_ckpt / best_plain - 1.0) if best_plain else 0.0
+    return {
+        "duration_usec": duration,
+        "epochs": epochs,
+        "checkpoints": checkpoints,
+        "repeats": repeats,
+        "events": events,
+        "plain_wall_sec": round(best_plain, 6),
+        "checkpoint_wall_sec": round(best_ckpt, 6),
+        "overhead_fraction": round(overhead, 4),
+        "gate_threshold": CHECKPOINT_OVERHEAD_GATE,
+    }

@@ -18,8 +18,15 @@ Three layers, bottom up:
   lookahead synchronization.  Sequential execution is the one-shard
   special case and stays byte-identical to the golden traces; see
   docs/PDES.md for the contract.
+* **Supervision** — the :class:`Supervisor`
+  (:mod:`repro.engine.supervisor`) runs the same round protocol with
+  failure detection, deterministic epoch checkpointing
+  (:mod:`repro.engine.checkpoint`), restore/restart with backoff, a
+  degradation ladder, and an execution-layer chaos plane
+  (:class:`repro.faults.ChaosPlan`).
 """
 
+from repro.engine.checkpoint import Checkpoint, CheckpointPolicy
 from repro.engine.component import (
     ChannelLink,
     Component,
@@ -50,10 +57,19 @@ from repro.engine.sharded import (
     ShardSyncError,
 )
 from repro.engine.simulator import USEC_PER_SEC, SimulationError, Simulator
+from repro.engine.supervisor import (
+    RecoveryEvent,
+    SupervisedRun,
+    Supervisor,
+    SupervisorError,
+    SupervisorPolicy,
+)
 
 __all__ = [
     "Block",
     "ChannelLink",
+    "Checkpoint",
+    "CheckpointPolicy",
     "Component",
     "Compute",
     "Event",
@@ -63,12 +79,17 @@ __all__ = [
     "Partition",
     "PartitionError",
     "ProcState",
+    "RecoveryEvent",
     "Request",
     "ShardSyncError",
     "ShardWorld",
     "ShardedEngine",
     "ShardedRun",
     "SimProcess",
+    "SupervisedRun",
+    "Supervisor",
+    "SupervisorError",
+    "SupervisorPolicy",
     "SimulationError",
     "Simulator",
     "Sleep",

@@ -64,6 +64,7 @@ import pickle
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.component import (
+    ChannelLink,
     Component,
     Partition,
     ShardWorld,
@@ -385,22 +386,109 @@ class _ProcessTransport:
 # ----------------------------------------------------------------------
 # Coordinator
 # ----------------------------------------------------------------------
+def in_channel_lists(partition: Partition) -> List[List[ChannelLink]]:
+    """Per-destination-shard lists of the partition's channels."""
+    in_channels: List[List[ChannelLink]] = [
+        [] for _ in range(partition.shards)]
+    for channel in partition.channels:
+        in_channels[channel.dst_shard].append(channel)
+    return in_channels
+
+
+def round_budget(partition: Partition, duration: float,
+                 extra_rounds: int = 0) -> int:
+    """The coordinator's termination guard: an upper bound on how many
+    synchronous rounds a healthy run can take.  *extra_rounds* widens
+    the budget for drivers that insert additional quiescent rounds
+    (the supervisor's checkpoint barriers)."""
+    min_lookahead = partition.min_lookahead()
+    if min_lookahead:
+        budget = (10_000 + int(duration / min_lookahead + 1)
+                  * 16 * partition.shards)
+    else:
+        budget = 16 + partition.shards
+    return budget + extra_rounds
+
+
+def effective_next_events(ne: Sequence[float],
+                          pending: Sequence[Sequence[Tuple]]
+                          ) -> List[float]:
+    """Effective next-event per shard: its own heap, or an undelivered
+    arrival, whichever is earlier."""
+    eff = []
+    for value, messages in zip(ne, pending):
+        for message in messages:
+            if message[1] < value:
+                value = message[1]
+        eff.append(value)
+    return eff
+
+
+def compute_grants(partition: Partition, ne: Sequence[float],
+                   finished: Sequence[bool],
+                   pending: Sequence[Sequence[Tuple]],
+                   in_channels: Optional[List[List[ChannelLink]]] = None
+                   ) -> List[Optional[float]]:
+    """One round of the conservative grant computation: effective
+    next events, the least-fixpoint lower-bound relaxation over the
+    channel graph, then each unfinished shard's grant (``None`` for
+    finished shards).
+
+    This is the single source of truth for the sync protocol; both the
+    plain driver below and the supervised driver
+    (:mod:`repro.engine.supervisor`) call it, so a protocol change can
+    never diverge between them.
+    """
+    if in_channels is None:
+        in_channels = in_channel_lists(partition)
+    eff = effective_next_events(ne, pending)
+    # Transitive lower bounds.  A shard's next action may be
+    # triggered by a frame it has not seen yet — one that another
+    # shard will emit when *its* next action runs, possibly in
+    # response to a frame from a third shard, and so on around
+    # cycles (a gateway bouncing a shard's own traffic back at
+    # it).  Relax the lookahead edges to the least fixpoint:
+    # lb_j = min(eff_j, min over channels i->j of lb_i + L_ij).
+    # Strictly positive lookahead makes this a shortest-path
+    # relaxation that terminates.  Edges out of finished shards
+    # are dead — they will never emit again.
+    lb = list(eff)
+    changed = True
+    while changed:
+        changed = False
+        for channel in partition.channels:
+            if finished[channel.src_shard]:
+                continue
+            bound = (lb[channel.src_shard]
+                     + channel.lookahead_usec)
+            if bound < lb[channel.dst_shard]:
+                lb[channel.dst_shard] = bound
+                changed = True
+    grants: List[Optional[float]] = []
+    for j in range(partition.shards):
+        if finished[j]:
+            grants.append(None)
+            continue
+        grant = _INF
+        for channel in in_channels[j]:
+            src = channel.src_shard
+            if finished[src]:
+                continue
+            bound = lb[src] + channel.lookahead_usec
+            if bound < grant:
+                grant = bound
+        grants.append(grant)
+    return grants
+
+
 def _drive(transport, partition: Partition, duration: float
            ) -> Tuple[List[List[Tuple]], int]:
     """Run the synchronous round protocol to completion.  Returns the
     per-shard leftover messages (all past the horizon) and the round
     count."""
     shards = partition.shards
-    in_channels: List[List] = [[] for _ in range(shards)]
-    for channel in partition.channels:
-        in_channels[channel.dst_shard].append(channel)
-
-    min_lookahead = partition.min_lookahead()
-    if min_lookahead:
-        max_rounds = (10_000
-                      + int(duration / min_lookahead + 1) * 16 * shards)
-    else:
-        max_rounds = 16 + shards
+    in_channels = in_channel_lists(partition)
+    max_rounds = round_budget(partition, duration)
 
     ne = list(transport.ready())
     finished = [False] * shards
@@ -411,53 +499,10 @@ def _drive(transport, partition: Partition, duration: float
         if rounds > max_rounds:
             raise ShardSyncError(
                 f"no termination after {max_rounds} rounds "
-                f"(min lookahead {min_lookahead!r}us, "
+                f"(min lookahead {partition.min_lookahead()!r}us, "
                 f"duration {duration!r}us)")
-        # Effective next-event per shard: its own heap, or an
-        # undelivered arrival, whichever is earlier.
-        eff = []
-        for i in range(shards):
-            value = ne[i]
-            for message in pending[i]:
-                if message[1] < value:
-                    value = message[1]
-            eff.append(value)
-        # Transitive lower bounds.  A shard's next action may be
-        # triggered by a frame it has not seen yet — one that another
-        # shard will emit when *its* next action runs, possibly in
-        # response to a frame from a third shard, and so on around
-        # cycles (a gateway bouncing a shard's own traffic back at
-        # it).  Relax the lookahead edges to the least fixpoint:
-        # lb_j = min(eff_j, min over channels i->j of lb_i + L_ij).
-        # Strictly positive lookahead makes this a shortest-path
-        # relaxation that terminates.  Edges out of finished shards
-        # are dead — they will never emit again.
-        lb = list(eff)
-        changed = True
-        while changed:
-            changed = False
-            for channel in partition.channels:
-                if finished[channel.src_shard]:
-                    continue
-                bound = (lb[channel.src_shard]
-                         + channel.lookahead_usec)
-                if bound < lb[channel.dst_shard]:
-                    lb[channel.dst_shard] = bound
-                    changed = True
-        grants: List[Optional[float]] = []
-        for j in range(shards):
-            if finished[j]:
-                grants.append(None)
-                continue
-            grant = _INF
-            for channel in in_channels[j]:
-                src = channel.src_shard
-                if finished[src]:
-                    continue
-                bound = lb[src] + channel.lookahead_usec
-                if bound < grant:
-                    grant = bound
-            grants.append(grant)
+        grants = compute_grants(partition, ne, finished, pending,
+                                in_channels)
         replies = transport.step(grants, pending)
         pending = [[] for _ in range(shards)]
         for j, (ne_j, finished_j, outbox) in enumerate(replies):
@@ -617,3 +662,14 @@ class ShardedEngine:
         finally:
             transport.close()
         return ShardedRun(payloads, rounds, self.partition, mode)
+
+    def run_supervised(self, duration: float, seed: int = 0, *,
+                       policy=None, chaos=None):
+        """Execute under the supervision layer — failure detection,
+        checkpoint/restore, degradation — returning a
+        :class:`~repro.engine.supervisor.SupervisedRun`.  Results and
+        trace digests are identical to :meth:`run`; see
+        :mod:`repro.engine.supervisor`."""
+        from repro.engine.supervisor import Supervisor
+        return Supervisor(self, policy=policy,
+                          chaos=chaos).run(duration, seed)

@@ -24,7 +24,12 @@ import sys
 import time
 
 from repro import __version__
-from repro.runner import ResultCache, SweepRunner, default_cache_dir
+from repro.runner import (
+    ResultCache,
+    RunJournal,
+    SweepRunner,
+    default_cache_dir,
+)
 from repro.trace import Tracer, set_default_tracer
 from repro.experiments import (
     ablations,
@@ -127,6 +132,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "experiments built on the component "
                              "engine honor it, others note the "
                              "fallback and run sequentially")
+    parser.add_argument("--supervise", action="store_true",
+                        help="run sharded scenarios under the "
+                             "supervision layer (worker failure "
+                             "detection, epoch checkpoints, "
+                             "degradation; see docs/PDES.md); only "
+                             "component-engine experiments honor it")
+    parser.add_argument("--resume", metavar="JOURNAL.JSONL",
+                        default=None,
+                        help="journal every completed sweep point to "
+                             "this file and, when it already exists, "
+                             "resume from it: journaled points are "
+                             "served without recomputation (content-"
+                             "addressed, so stale entries are ignored "
+                             "after code/parameter changes)")
     return parser
 
 
@@ -159,10 +178,18 @@ def main(argv=None) -> int:
     cache = None
     if args.cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
+    journal = None
+    if args.resume is not None:
+        journal = RunJournal(args.resume)
+        if journal.resumed_from:
+            print(f"resuming: {journal.resumed_from} completed "
+                  f"point(s) journaled in {args.resume}",
+                  file=sys.stderr)
     runner = SweepRunner(workers=args.parallel, cache=cache,
                          progress=True,
                          point_timeout_sec=args.point_timeout,
-                         retries=args.retries)
+                         retries=args.retries,
+                         journal=journal)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
@@ -174,14 +201,20 @@ def main(argv=None) -> int:
             print(f"\n##### {name} #####")
             exp_started = time.monotonic()
             kwargs = {"fast": args.fast, "runner": runner}
+            accepts = inspect.signature(EXPERIMENTS[name]).parameters
             if args.shards > 1:
-                accepts = inspect.signature(
-                    EXPERIMENTS[name]).parameters
                 if "shards" in accepts:
                     kwargs["shards"] = args.shards
                 else:
                     print(f"note: {name} does not support --shards; "
                           "running sequentially", file=sys.stderr)
+            if args.supervise:
+                if "supervise" in accepts:
+                    kwargs["supervise"] = True
+                else:
+                    print(f"note: {name} does not support "
+                          "--supervise; running unsupervised",
+                          file=sys.stderr)
             text = EXPERIMENTS[name](**kwargs)
             experiment_log[name] = {
                 "wall_clock_sec": round(
@@ -197,6 +230,15 @@ def main(argv=None) -> int:
             _write_results(args, names, runner, experiment_log,
                            started_unix,
                            time.monotonic() - started)
+        if journal is not None:
+            journal.close()
+    if runner.failed:
+        for descriptor in runner.failed:
+            print(f"FAILED point: {descriptor['label']} — "
+                  f"{descriptor['error']}", file=sys.stderr)
+        print(f"{len(runner.failed)} sweep point(s) exhausted their "
+              "retries", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -213,6 +255,8 @@ def _write_results(args, names, runner: SweepRunner, experiment_log,
             "retries": args.retries,
             "trace": args.trace is not None,
             "shards": args.shards,
+            "supervise": args.supervise,
+            "resume": args.resume,
         },
         "started_unix": started_unix,
         "wall_clock_sec": round(elapsed_sec, 3),

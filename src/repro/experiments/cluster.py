@@ -39,7 +39,9 @@ from repro.core import Architecture
 from repro.core.forwarding import build_gateway
 from repro.engine.component import HostComponent, SourceComponent
 from repro.engine.process import Compute
-from repro.engine.sharded import ShardedEngine
+from repro.engine.checkpoint import CheckpointPolicy
+from repro.engine.sharded import ShardedEngine, ShardedRun
+from repro.engine.supervisor import SupervisorPolicy
 from repro.net.topology import (
     TopologySpec,
     gateway_chain_spec,
@@ -174,6 +176,25 @@ def _incast_components(arch: Architecture, fan_in: int,
     return components
 
 
+def _drive_engine(engine: ShardedEngine, duration_usec: float,
+                  seed: int, supervise: bool) -> ShardedRun:
+    """Run *engine* plainly or under the supervision layer.
+
+    Supervision is trace-neutral: the supervisor caps grants at epoch
+    barriers and takes checkpoints only at quiescent sync points, so a
+    supervised run reports byte-identical results — it merely survives
+    shard-worker failures (docs/PDES.md, "Fault tolerance").  Eight
+    epochs per run keeps the checkpoint cadence coarse enough that the
+    overhead gate (<5%, repro.bench) holds even for short windows.
+    """
+    if not supervise:
+        return engine.run(duration_usec, seed=seed)
+    policy = SupervisorPolicy(
+        checkpoint=CheckpointPolicy(epoch_usec=duration_usec / 8.0))
+    return engine.run_supervised(duration_usec, seed=seed,
+                                 policy=policy)
+
+
 # ----------------------------------------------------------------------
 # N -> 1 incast
 # ----------------------------------------------------------------------
@@ -184,12 +205,16 @@ def run_incast_point(arch: Architecture, fan_in: int,
                      seed: int = 5,
                      topology: Optional[TopologySpec] = None,
                      shards: int = 1,
-                     shard_mode: str = "auto") -> Dict:
+                     shard_mode: str = "auto",
+                     supervise: bool = False) -> Dict:
     """One (architecture, fan-in) incast measurement.
 
     *shards* > 1 runs the identical component scenario under the
     conservative-time sharded engine; every reported number is
     invariant to the shard count (the PDES parity tests pin this).
+    *supervise* runs the same rounds under the failure-detecting
+    supervisor with epoch checkpoints — results are identical by the
+    trace-neutrality contract.
     """
     arch = Architecture(arch)
     spec = topology if topology is not None else incast_spec(fan_in)
@@ -197,7 +222,7 @@ def run_incast_point(arch: Architecture, fan_in: int,
         spec, _incast_components(arch, fan_in, rate_pps,
                                  duration_usec, warmup_usec),
         shards=shards, mode=shard_mode)
-    run = engine.run(duration_usec, seed=seed)
+    run = _drive_engine(engine, duration_usec, seed, supervise)
 
     server = run.collected["server"]
     ledger = run.total_conservation()
@@ -319,13 +344,16 @@ def run_chain_point(arch: Architecture, flood_pps: float,
                     seed: int = 11,
                     topology: Optional[TopologySpec] = None,
                     shards: int = 1,
-                    shard_mode: str = "auto") -> Dict:
+                    shard_mode: str = "auto",
+                    supervise: bool = False) -> Dict:
     """One (gateway architecture, transit rate) chain measurement.
 
     The gateway runs *arch* plus a local compute-bound application;
     the backend runs SOFT-LRP so the far end never confounds the
     gateway comparison.  *shards* > 1 runs the same components under
-    the sharded engine; results are shard-count invariant.
+    the sharded engine; results are shard-count invariant, and
+    *supervise* adds failure detection + epoch checkpoints without
+    changing them.
     """
     arch = Architecture(arch)
     spec = topology if topology is not None else gateway_chain_spec()
@@ -333,7 +361,7 @@ def run_chain_point(arch: Architecture, flood_pps: float,
         spec, _chain_components(arch, flood_pps, daemon_nice,
                                 duration_usec, warmup_usec),
         shards=shards, mode=shard_mode)
-    run = engine.run(duration_usec, seed=seed)
+    run = _drive_engine(engine, duration_usec, seed, supervise)
 
     gateway = run.collected["gateway"]
     backend = run.collected["backend"]
@@ -365,13 +393,15 @@ def run_experiment(
         systems: Sequence[Architecture] = MAIN_SYSTEMS,
         duration_usec: float = 1_000_000.0,
         runner: Optional[SweepRunner] = None,
-        shards: int = 1) -> Dict:
+        shards: int = 1,
+        supervise: bool = False) -> Dict:
     """The full cluster sweep: incast fan-in × architecture, then the
     gateway chain over transit rates.
 
     *shards* > 1 runs every point under the sharded engine; results
     (and the sweep cache keys, which bind the shard count) are
-    otherwise identical to the sequential sweep.
+    otherwise identical to the sequential sweep.  *supervise* runs
+    each point under the supervision layer (``--supervise``).
     """
     runner = runner or SweepRunner()
 
@@ -380,7 +410,8 @@ def run_experiment(
         run_incast_point,
         [dict(arch=arch, fan_in=n, rate_pps=rate_pps,
               duration_usec=duration_usec,
-              topology=incast_spec(n), shards=shards)
+              topology=incast_spec(n), shards=shards,
+              supervise=supervise)
          for arch, n in incast_grid],
         label="cluster-incast")
 
@@ -388,7 +419,8 @@ def run_experiment(
     chain_points = runner.map(
         run_chain_point,
         [dict(arch=arch, flood_pps=r, duration_usec=duration_usec,
-              topology=gateway_chain_spec(), shards=shards)
+              topology=gateway_chain_spec(), shards=shards,
+              supervise=supervise)
          for arch, r in chain_grid],
         label="cluster-chain")
 
@@ -471,7 +503,8 @@ def report(result: Dict) -> str:
 
 def main(fast: bool = False,
          runner: Optional[SweepRunner] = None,
-         shards: int = 1) -> str:
+         shards: int = 1,
+         supervise: bool = False) -> str:
     fan_ins = (1, 4) if fast else DEFAULT_FAN_INS
     chain_rates = (2_000.0, 14_000.0) if fast \
         else DEFAULT_CHAIN_RATES
@@ -480,7 +513,8 @@ def main(fast: bool = False,
                                  chain_rates=chain_rates,
                                  duration_usec=duration,
                                  runner=runner,
-                                 shards=shards))
+                                 shards=shards,
+                                 supervise=supervise))
     print(text)
     return text
 

@@ -1,0 +1,184 @@
+"""Execution-layer chaos plans: deterministic faults for the PDES
+*runtime* rather than the simulated network.
+
+:mod:`repro.faults.plan` schedules faults inside the simulated world
+(dropped frames, stalled NICs).  A :class:`ChaosPlan` schedules faults
+against the machinery that *runs* the world — the shard worker
+processes of :class:`repro.engine.sharded.ShardedEngine` — and is
+consumed by :class:`repro.engine.supervisor.Supervisor`, which injects
+the scheduled failures and then has to survive them.
+
+The idiom mirrors ``FaultPlan`` on purpose: frozen dataclasses, so a
+plan canonicalizes into sweep cache keys and pickles by value; a plan
+seed from which per-rule RNG streams are derived by name
+(``sha256(f"{seed}:exec:{label}")``), so any single rule's draws are
+reproducible in isolation.
+
+Kinds
+-----
+``kill``    the worker exits immediately (``os._exit(137)``) at the
+            start of its next granted window — a crash.
+``stall``   the worker sleeps ``magnitude`` wall seconds before
+            processing the window — long enough versus the
+            supervisor's round deadline, and a "hung" worker; shorter,
+            and merely a "slow" one.
+``slow``    the worker sleeps ``magnitude`` wall seconds *per round*
+            for the remainder of its incarnation — sustained
+            degradation rather than a single spike.
+
+Scheduling
+----------
+Rules fire at **epoch boundaries**: the supervisor's deterministic
+sim-time checkpoint barriers (see
+:class:`repro.engine.checkpoint.CheckpointPolicy`).  ``at_epoch=k``
+arms the rule once the k-th barrier's checkpoint is taken (``k=0``
+arms it before the first round), and the directive rides the target
+shard's next step request.  Epoch numbering is sim-time, so one plan
+means the same thing at any shard count — which is what lets the CI
+chaos job assert digest parity across shards {1, 2} with a single
+plan.
+
+``incarnation`` pins a rule to one life of the execution: incarnation
+0 is the initial run, and each restore/restart increments it.  The
+default of 0 gives the common chaos-test shape — fail once, then let
+recovery proceed cleanly.  ``incarnation=None`` re-fires on every
+life: a persistent fault that forces the supervisor down its
+degradation ladder.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+EXEC_KINDS = ("kill", "stall", "slow")
+
+
+def exec_stream(seed: int, label: str) -> random.Random:
+    """The named deterministic RNG stream for one chaos rule."""
+    digest = hashlib.sha256(f"{seed}:exec:{label}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+@dataclass(frozen=True)
+class ExecFaultRule:
+    """One scheduled execution-layer fault."""
+
+    kind: str
+    #: Checkpoint-barrier index after which the rule arms (0 = before
+    #: the first round).
+    at_epoch: int = 0
+    #: Target shard; ``None`` draws one from the rule's RNG stream at
+    #: fire time (modulo the current shard count).
+    shard: Optional[int] = None
+    #: Which life of the execution the rule applies to; ``None`` means
+    #: every incarnation (a persistent fault).
+    incarnation: Optional[int] = 0
+    #: Kind-specific scalar: stall/slow sleep seconds.
+    magnitude: float = 0.0
+    #: Label used in recovery events and RNG-stream derivation;
+    #: defaults to ``exec.<kind>@<epoch>``.
+    name: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind not in EXEC_KINDS:
+            raise ValueError(
+                f"unknown exec fault kind {self.kind!r} "
+                f"(expected one of {EXEC_KINDS})")
+        if self.at_epoch < 0:
+            raise ValueError("at_epoch must be >= 0")
+        if self.magnitude < 0.0:
+            raise ValueError("magnitude must be >= 0")
+        if self.shard is not None and self.shard < 0:
+            raise ValueError("shard must be >= 0")
+
+    @property
+    def label(self) -> str:
+        return self.name or f"exec.{self.kind}@{self.at_epoch}"
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seed plus an ordered schedule of execution faults."""
+
+    seed: int = 0
+    rules: Tuple[ExecFaultRule, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        # Tolerate lists for ergonomics; store a hashable tuple.
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    @property
+    def empty(self) -> bool:
+        return not self.rules
+
+
+def kill_at(epoch: int, shard: Optional[int] = None,
+            incarnation: Optional[int] = 0) -> ExecFaultRule:
+    """Convenience: the canonical crash-recovery rule."""
+    return ExecFaultRule("kill", at_epoch=epoch, shard=shard,
+                         incarnation=incarnation)
+
+
+class ChaosController:
+    """Coordinator-side evaluation of a :class:`ChaosPlan`.
+
+    The supervisor notifies it of epoch crossings; armed directives are
+    handed out with the target shard's next step request.  Directives
+    are evaluated deterministically: rule order is plan order, and
+    shard draws come from the rule's named stream, advanced only when
+    the rule actually fires.
+    """
+
+    def __init__(self, plan: ChaosPlan) -> None:
+        self.plan = plan
+        self._streams = {}
+        #: ``shard -> (kind, magnitude, label)`` awaiting delivery.
+        self._armed = {}
+        #: ``(label, incarnation)`` pairs that already fired, so a rule
+        #: fires at most once per incarnation even if its epoch is
+        #: crossed again after an origin restart.
+        self._fired = set()
+
+    def _stream(self, rule: ExecFaultRule) -> random.Random:
+        if rule.label not in self._streams:
+            self._streams[rule.label] = exec_stream(self.plan.seed,
+                                                    rule.label)
+        return self._streams[rule.label]
+
+    def on_epoch(self, epoch: int, incarnation: int, shards: int):
+        """Arm every rule scheduled at or before *epoch* for this
+        incarnation.  Returns the newly armed ``(shard, kind,
+        magnitude, label)`` tuples, for event emission."""
+        armed = []
+        for rule in self.plan.rules:
+            if rule.at_epoch > epoch:
+                continue
+            if (rule.incarnation is not None
+                    and rule.incarnation != incarnation):
+                continue
+            key = (rule.label, incarnation)
+            if key in self._fired:
+                continue
+            self._fired.add(key)
+            shard = rule.shard
+            if shard is None:
+                shard = self._stream(rule).randrange(shards)
+            shard %= shards
+            self._armed[shard] = (rule.kind, rule.magnitude,
+                                  rule.label)
+            armed.append((shard, rule.kind, rule.magnitude,
+                          rule.label))
+        return armed
+
+    def directive_for(self, shard: int):
+        """Pop the armed directive riding *shard*'s next step, if
+        any — ``(kind, magnitude, label)``."""
+        return self._armed.pop(shard, None)
+
+    def reset_incarnation(self) -> None:
+        """Drop armed-but-undelivered directives; the workers they
+        targeted are gone."""
+        self._armed.clear()

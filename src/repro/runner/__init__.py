@@ -14,6 +14,10 @@ subsystem that executes such grids fast and reproducibly:
   parameters, seed) and the package version, so identical points are
   never simulated twice (``--cache``) and any relevant change is an
   automatic cache miss;
+* :class:`~repro.runner.cache.RunJournal` — an append-only per-sweep
+  checkpoint file: every completed point lands in it immediately, and
+  ``--resume <path>`` replays an interrupted sweep from it without
+  recomputing finished points;
 * :class:`~repro.stats.timing.WallClock` (re-exported) — per-point
   wall-clock accounting, so the speedup the runner delivers is itself
   a measured result.
@@ -26,6 +30,7 @@ this.  See docs/RUNNING.md for the user-facing tour.
 from repro.runner.cache import (
     CACHE_DIR_ENV,
     ResultCache,
+    RunJournal,
     canonicalize,
     default_cache_dir,
     point_digest,
@@ -40,6 +45,7 @@ __all__ = [
     "CACHE_DIR_ENV",
     "ProgressReporter",
     "ResultCache",
+    "RunJournal",
     "SweepRunner",
     "WallClock",
     "canonicalize",

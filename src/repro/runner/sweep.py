@@ -44,6 +44,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO, Tuple
 
 from repro.runner.cache import (
     ResultCache,
+    RunJournal,
     canonicalize,
     point_digest,
     shards_identity,
@@ -76,7 +77,9 @@ def _call_with_timeout(fn: Callable, kwargs: Dict[str, Any],
     Uses SIGALRM, the only way to interrupt a wedged simulation loop
     from within the same process; degrades to an unguarded call where
     alarms are unavailable (non-main thread, platforms without
-    SIGALRM).
+    SIGALRM).  Signal handlers can only be installed from the **main
+    thread** — callers running points from worker threads get the
+    unguarded fallback, never a cross-thread alarm.
     """
     can_alarm = (timeout_sec is not None and timeout_sec > 0
                  and hasattr(signal, "SIGALRM")
@@ -89,12 +92,20 @@ def _call_with_timeout(fn: Callable, kwargs: Dict[str, Any],
         raise PointTimeout(
             f"point exceeded {timeout_sec:.1f}s wall-clock budget")
 
+    # Nested try/finally: the itimer must be disarmed before the
+    # handler is restored, and *both* must happen even if the alarm
+    # fires in the gap after fn() returns — a late PointTimeout raised
+    # inside a single flat finally would skip the statements after it,
+    # leaving the previous handler lost and a live timer pointed at a
+    # handler that no longer exists.
     previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout_sec)
     try:
-        return fn(**kwargs)
+        signal.setitimer(signal.ITIMER_REAL, timeout_sec)
+        try:
+            return fn(**kwargs)
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
     finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
 
 
@@ -141,6 +152,10 @@ class SweepRunner:
     :param retry_backoff_sec: sleep before retry *n* is
         ``retry_backoff_sec * 2**n`` — real seconds, since the failures
         being absorbed (dying workers, timeouts) are host-level.
+    :param journal: a :class:`~repro.runner.cache.RunJournal`; every
+        computed point is appended to it, and points already journaled
+        (by digest) are served from it without recomputation — the
+        mechanism behind the CLI's ``--resume``.
     """
 
     def __init__(self, workers: int = 0,
@@ -150,7 +165,8 @@ class SweepRunner:
                  stream: Optional[TextIO] = None,
                  point_timeout_sec: Optional[float] = None,
                  retries: int = 0,
-                 retry_backoff_sec: float = 0.5) -> None:
+                 retry_backoff_sec: float = 0.5,
+                 journal: Optional[RunJournal] = None) -> None:
         self.workers = max(0, int(workers))
         self.cache = cache
         self.progress = progress
@@ -159,13 +175,22 @@ class SweepRunner:
         self.point_timeout_sec = point_timeout_sec
         self.retries = max(0, int(retries))
         self.retry_backoff_sec = retry_backoff_sec
+        self.journal = journal
+        self._active_journal: Optional[RunJournal] = None
         self.wallclock = WallClock()
         #: One entry per executed point, in submission order; the CLI
         #: serializes this into ``--results-json`` output.
         self.points_log: List[Dict[str, Any]] = []
         self.notes: List[str] = []
-        #: Points that exhausted their retries this runner's lifetime.
-        self.failed_points = 0
+        #: Descriptors of points that exhausted their retries this
+        #: runner's lifetime: ``{label, fn, params, error}``.
+        self.failed: List[Dict[str, Any]] = []
+
+    @property
+    def failed_points(self) -> int:
+        """Count of points that exhausted their retries (see
+        :attr:`failed` for the descriptors)."""
+        return len(self.failed)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -203,7 +228,10 @@ class SweepRunner:
         tracing = get_default_tracer() is not None
         workers = self.workers if not tracing else 0
         cache = self.cache if not tracing else None
-        if tracing and (self.workers > 1 or self.cache is not None):
+        journal = self.journal if not tracing else None
+        self._active_journal = journal
+        if tracing and (self.workers > 1 or self.cache is not None
+                        or self.journal is not None):
             note = ("tracer active: sweep forced serial with cache "
                     "bypassed so the trace observes every event")
             if note not in self.notes:
@@ -221,9 +249,21 @@ class SweepRunner:
         log_start = len(self.points_log)
         for index, (fn, kwargs, point_label) in enumerate(specs):
             digest = point_digest(fn, kwargs)
+            if journal is not None:
+                hit, value = journal.get(digest)
+                if hit:
+                    results[index] = value
+                    self._log_point(fn, kwargs, point_label, digest,
+                                    cached=True, wall_sec=0.0,
+                                    result=value, seq=index,
+                                    resumed=True)
+                    reporter.point_done(point_label, 0.0, cached=True)
+                    continue
             if cache is not None:
                 hit, value = cache.get(digest)
                 if hit:
+                    if journal is not None:
+                        journal.record(digest, value)
                     results[index] = value
                     self._log_point(fn, kwargs, point_label, digest,
                                     cached=True, wall_sec=0.0,
@@ -376,7 +416,12 @@ class SweepRunner:
         error captured in the points log, sweep continues."""
         fn, kwargs, point_label = spec
         digest = point_digest(fn, kwargs)
-        self.failed_points += 1
+        self.failed.append({
+            "label": point_label,
+            "fn": f"{fn.__module__}.{fn.__qualname__}",
+            "params": canonicalize(kwargs),
+            "error": repr(exc),
+        })
         self.wallclock.record(point_label, wall_sec, cached=False)
         self.points_log.append({
             "label": point_label,
@@ -386,6 +431,7 @@ class SweepRunner:
             "shards": shards_identity(kwargs),
             "params": canonicalize(kwargs),
             "cached": False,
+            "resumed": False,
             "wall_clock_sec": round(wall_sec, 6),
             "result": None,
             "error": repr(exc),
@@ -397,18 +443,22 @@ class SweepRunner:
                          reporter, seq: int) -> None:
         fn, kwargs, point_label = spec
         digest = point_digest(fn, kwargs)
+        meta = {
+            "fn": f"{fn.__module__}.{fn.__qualname__}",
+            "label": point_label,
+            "params": canonicalize(kwargs),
+        }
         if cache is not None:
-            cache.put(digest, value, meta={
-                "fn": f"{fn.__module__}.{fn.__qualname__}",
-                "label": point_label,
-                "params": canonicalize(kwargs),
-            })
+            cache.put(digest, value, meta=meta)
+        if self._active_journal is not None:
+            self._active_journal.record(digest, value, meta=meta)
         self._log_point(fn, kwargs, point_label, digest, cached=False,
                         wall_sec=wall_sec, result=value, seq=seq)
         reporter.point_done(point_label, wall_sec, cached=False)
 
     def _log_point(self, fn, kwargs, point_label, digest, cached,
-                   wall_sec, result, seq: int) -> None:
+                   wall_sec, result, seq: int,
+                   resumed: bool = False) -> None:
         events = (result.get("events")
                   if isinstance(result, dict) else None)
         self.wallclock.record(point_label, wall_sec, cached=cached,
@@ -421,6 +471,7 @@ class SweepRunner:
             "shards": shards_identity(kwargs),
             "params": canonicalize(kwargs),
             "cached": cached,
+            "resumed": resumed,
             "wall_clock_sec": round(wall_sec, 6),
             "result": result,
             "_seq": seq,
@@ -431,11 +482,15 @@ class SweepRunner:
         """Machine-readable run summary (embedded in results JSON)."""
         out: Dict[str, Any] = {
             "workers": self.workers,
-            "failed_points": self.failed_points,
+            # The descriptors themselves (kwargs, not just a count),
+            # so a results JSON names exactly which points died.
+            "failed_points": list(self.failed),
             "wallclock": self.wallclock.summary(),
         }
         out["cache"] = (self.cache.stats() if self.cache is not None
                         else None)
+        out["journal"] = (self.journal.stats()
+                          if self.journal is not None else None)
         if self.notes:
             out["notes"] = list(self.notes)
         return out

@@ -257,6 +257,35 @@ def run_cluster_sharded(key: str, shards: int = 1,
     return engine.run(duration, seed=GOLDEN_SEED)
 
 
+def run_cluster_supervised(key: str, shards: int = 1,
+                           mode: str = "process",
+                           chaos=None, policy=None,
+                           duration: float = GOLDEN_DURATION):
+    """Run a cluster golden workload under the supervision layer with
+    tracing; returns the
+    :class:`~repro.engine.supervisor.SupervisedRun`.
+
+    The CI ``chaos-recovery`` job drives this with a seeded
+    :class:`~repro.faults.ChaosPlan` (worker kills mid-run) and
+    asserts the recovered run's digests still match the committed
+    goldens — checkpoint/restore must be invisible to the trace.
+    When *policy* is omitted, epoch checkpoints land every eighth of
+    *duration* so every workload crosses several restore points.
+    """
+    from repro.engine.checkpoint import CheckpointPolicy
+    from repro.engine.sharded import ShardedEngine
+    from repro.engine.supervisor import SupervisorPolicy
+
+    if policy is None:
+        policy = SupervisorPolicy(
+            checkpoint=CheckpointPolicy(epoch_usec=duration / 8.0))
+    spec, components, prepare = cluster_world(key)
+    engine = ShardedEngine(spec, components, shards=shards, mode=mode,
+                           prepare=prepare, trace=True)
+    return engine.run_supervised(duration, seed=GOLDEN_SEED,
+                                 policy=policy, chaos=chaos)
+
+
 def run_golden_workload(arch_key: str,
                         tracer: Optional[Tracer] = None) -> Tracer:
     """Run the canonical workload on *arch_key*'s architecture with

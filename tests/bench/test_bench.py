@@ -91,7 +91,8 @@ class TestSuite:
     def test_registry_names(self):
         assert set(BENCHMARKS) == {
             "event_queue", "event_queue_cancel", "mbuf_pool",
-            "packet_roundtrip", "figure3_point", "cluster_incast"}
+            "packet_roundtrip", "figure3_point", "cluster_incast",
+            "checkpoint_overhead"}
 
     def test_unknown_benchmark_rejected(self):
         with pytest.raises(KeyError):

@@ -10,6 +10,8 @@ from repro.bench import BENCHMARKS, compare_results
 from repro.bench.cluster import (
     BENCH_FAN_IN,
     BENCH_RACKS,
+    CHECKPOINT_OVERHEAD_GATE,
+    _run_supervised,
     grid_components,
     rack_affine_assignment,
     run_grid,
@@ -20,6 +22,7 @@ SHORT_USEC = 30_000.0
 
 def test_registered():
     assert "cluster_incast" in BENCHMARKS
+    assert "checkpoint_overhead" in BENCHMARKS
 
 
 def test_rack_affine_assignment_covers_everything():
@@ -47,13 +50,29 @@ def test_grid_scenario_is_shard_count_invariant():
     assert delivered > 0
 
 
-def _payload(figure3_eps, cluster_eps=None, kops=1000.0):
+def test_checkpointed_grid_matches_plain_supervised_run():
+    plain, _ = _run_supervised(SHORT_USEC, 0.0)
+    ckpt, _ = _run_supervised(SHORT_USEC, SHORT_USEC / 3.0)
+    assert ckpt.checkpoints > 0
+    assert ckpt.events == plain.events
+    assert ckpt.collected == plain.collected
+
+
+def _payload(figure3_eps, cluster_eps=None, kops=1000.0,
+             overhead=None):
     results = {"figure3_point": {"per_arch": {
         "4.4BSD": {"events_per_sec": figure3_eps}}}}
     if cluster_eps is not None:
         results["cluster_incast"] = {
             "events_per_sec": cluster_eps,
             "calibration_kops_per_sec": kops,
+        }
+    if overhead is not None:
+        results["checkpoint_overhead"] = {
+            "overhead_fraction": overhead,
+            "gate_threshold": CHECKPOINT_OVERHEAD_GATE,
+            "plain_wall_sec": 1.0,
+            "checkpoint_wall_sec": 1.0 + overhead,
         }
     return {"schema": 1, "mode": "quick",
             "calibration_kops_per_sec": kops, "results": results}
@@ -84,3 +103,31 @@ class TestGateRow:
             assert verdict["ok"] is True
             archs = [row["arch"] for row in verdict["rows"]]
             assert "cluster_incast@1shard" not in archs
+
+
+class TestCheckpointOverheadGate:
+    def test_overhead_row_is_self_relative(self):
+        new = _payload(50_000.0, overhead=0.02)
+        # The gate judges the fresh payload alone: a baseline without
+        # the row (or with a worse one) changes nothing.
+        verdict = compare_results(new, _payload(50_000.0))
+        assert verdict["ok"] is True
+        row = next(r for r in verdict["rows"]
+                   if r["arch"] == "checkpoint_overhead")
+        assert row["regressed"] is False
+        assert row["gate_threshold"] == CHECKPOINT_OVERHEAD_GATE
+
+    def test_excess_overhead_fails_the_gate(self):
+        new = _payload(50_000.0, overhead=0.09)
+        verdict = compare_results(new, new)
+        assert verdict["ok"] is False
+        row = next(r for r in verdict["rows"]
+                   if r["arch"] == "checkpoint_overhead")
+        assert row["regressed"] is True
+
+    def test_missing_overhead_row_is_skipped(self):
+        verdict = compare_results(_payload(50_000.0),
+                                  _payload(50_000.0, overhead=0.01))
+        assert verdict["ok"] is True
+        assert "checkpoint_overhead" not in [
+            row["arch"] for row in verdict["rows"]]

@@ -1,0 +1,104 @@
+"""Deterministic epoch checkpointing (docs/PDES.md).
+
+Claims pinned here:
+
+1. epoch barriers are *trace-neutral*: a supervised run with
+   checkpoints enabled produces the byte-identical raw digest the
+   committed goldens pin, at one shard, even though grants are sliced
+   at every barrier;
+2. a run killed mid-flight and resumed from its last fork-snapshot
+   checkpoint finishes with results and parity digests identical to an
+   uninterrupted run — for every golden cluster workload, at one and
+   two shards (the acceptance matrix the CI ``chaos-recovery`` job
+   re-runs);
+3. epoch numbering is a function of simulated time only, so the
+   checkpoint schedule is uniform across shard counts;
+4. :class:`Checkpoint` snapshots coordinator state by value — later
+   mutation of the live lists cannot corrupt a cut.
+"""
+
+import os
+
+import pytest
+
+from repro.engine.checkpoint import Checkpoint, CheckpointPolicy
+from repro.engine.supervisor import SupervisorPolicy
+from repro.faults import ChaosPlan, kill_at
+from repro.trace import golden
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "..", "golden")
+
+SHORT_USEC = 30_000.0
+EPOCH_USEC = 10_000.0
+
+POLICY = SupervisorPolicy(
+    backoff_sec=0.0,
+    checkpoint=CheckpointPolicy(epoch_usec=EPOCH_USEC))
+
+
+def _supervised(key, shards, mode="process", chaos=None,
+                duration=SHORT_USEC):
+    return golden.run_cluster_supervised(
+        key, shards=shards, mode=mode, chaos=chaos, policy=POLICY,
+        duration=duration)
+
+
+@pytest.mark.parametrize("key", golden.CLUSTER_KEYS)
+def test_epoch_barriers_are_trace_neutral(key):
+    run = _supervised(key, shards=1, mode="inline",
+                      duration=golden.GOLDEN_DURATION)
+    committed = golden.load_golden(key, GOLDEN_DIR)
+    assert run.checkpoints > 0
+    assert run.trace_digest is not None
+    assert run.trace_digest["order_hash"] == committed["order_hash"]
+    assert run.trace_digest["n"] == committed["n"]
+    assert run.trace_digest["counts"] == committed["counts"]
+
+
+@pytest.mark.parametrize("key", golden.CLUSTER_KEYS)
+@pytest.mark.parametrize("shards", (1, 2))
+def test_crash_resume_matches_uninterrupted_run(key, shards):
+    clean = _supervised(key, shards=shards)
+    chaos = ChaosPlan(seed=7, rules=(kill_at(2),))
+    run = _supervised(key, shards=shards, chaos=chaos)
+    assert run.restores >= 1
+    assert run.parity == clean.parity
+    assert run.collected == clean.collected
+    assert run.events == clean.events
+    run.total_conservation()
+
+
+def test_checkpoint_schedule_uniform_across_shard_counts():
+    one = _supervised("cluster-incast", shards=1)
+    two = _supervised("cluster-incast", shards=2)
+    assert one.checkpoints == two.checkpoints > 0
+
+
+def test_checkpoint_policy():
+    with pytest.raises(ValueError):
+        CheckpointPolicy(epoch_usec=-1.0)
+    assert not CheckpointPolicy().enabled
+    policy = CheckpointPolicy(epoch_usec=10_000.0)
+    assert policy.enabled
+    assert policy.barrier(1) == 10_000.0
+    assert policy.barrier(3) == 30_000.0
+
+
+def test_checkpoint_state_is_frozen_by_value():
+    ne = [5.0, 7.0]
+    finished = [False, False]
+    pending = [[(0, 6.0, 1, "frame", "ch")], []]
+    cut = Checkpoint(1, 4, ne, finished, pending, handles=None)
+    # Mutate the live structures after the cut...
+    ne[0] = 99.0
+    finished[1] = True
+    pending[1].append("late")
+    saved_ne, saved_fin, saved_pending = cut.state()
+    assert saved_ne == [5.0, 7.0]
+    assert saved_fin == [False, False]
+    assert saved_pending == [[(0, 6.0, 1, "frame", "ch")], []]
+    # ...and each state() call hands out an independent copy.
+    again = cut.state()
+    assert again[2] is not saved_pending
+    assert not cut.resumable
+    cut.discard()

@@ -53,7 +53,12 @@ def test_serial_timeout_fails_point_not_sweep():
     assert len(failed) == 1
     assert "PointTimeout" in failed[0]["error"]
     assert failed[0]["result"] is None
-    assert runner.summary()["failed_points"] == 1
+    summary_failed = runner.summary()["failed_points"]
+    assert len(summary_failed) == 1
+    descriptor = summary_failed[0]
+    assert descriptor["params"] == {"duration_sec": 10.0}
+    assert "PointTimeout" in descriptor["error"]
+    assert descriptor["fn"].endswith("slow_point")
 
 
 def test_serial_retry_recovers_transient_failure(tmp_path):
