@@ -80,9 +80,15 @@ def main(argv=None) -> int:
               f"(gate threshold {verdict['threshold']:.0%}):")
         for row in verdict["rows"]:
             flag = "REGRESSED" if row["regressed"] else "ok"
-            print(f"  {row['arch']:12s} raw x{row['raw_speedup']:.2f} "
-                  f"normalized x{row['normalized_speedup']:.2f}  "
-                  f"[{flag}]")
+            if "raw_speedup" in row:
+                detail = (f"raw x{row['raw_speedup']:.2f} normalized "
+                          f"x{row['normalized_speedup']:.2f}")
+            else:
+                # Self-relative rows (checkpoint overhead) carry a
+                # fraction against a fixed gate, not a speedup.
+                detail = (f"overhead {row['overhead_fraction']:.1%} "
+                          f"(gate {row['gate_threshold']:.0%})")
+            print(f"  {row['arch']:22s} {detail}  [{flag}]")
         if args.gate and not verdict["ok"]:
             print("[bench] PERF GATE FAILED", file=sys.stderr)
             return 1

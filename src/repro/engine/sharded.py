@@ -26,8 +26,19 @@ coordinator:
    safe to run.
 3. Each shard receives its pending messages, runs exactly the events
    with ``time < grant`` (:meth:`Simulator.run_events_before`), and
-   returns newly exported frames.  A grant beyond the horizon lets the
-   shard run to the end (:meth:`Simulator.run_until`) and finish.
+   returns newly exported frames coalesced into one flush group per
+   peer shard.  A grant beyond the horizon lets the shard run to the
+   end (:meth:`Simulator.run_until`) and finish.
+
+Three optimizations cut the per-round overhead without touching the
+protocol's semantics (see docs/PDES.md, "Tuning"): the fixpoint
+relaxation is hoisted into a cached :class:`LookaheadClosure` (the
+channel graph is static; only the finished set varies), channel
+lookahead includes each source component's declared think time
+(``min_delay_usec``) so grants advance further per round, and shards
+that are provably idle in a round are skipped instead of
+round-tripped.  :class:`SyncStats` counts rounds, steps, skips and
+per-channel traffic so the overhead is measurable.
 
 Progress is guaranteed because lookahead is strictly positive on every
 cut edge (:class:`~repro.engine.component.Partition` enforces it): the
@@ -61,7 +72,16 @@ from __future__ import annotations
 import math
 import multiprocessing
 import pickle
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import time
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.engine.component import (
     ChannelLink,
@@ -102,17 +122,23 @@ class ShardProgram:
     """
 
     __slots__ = ("partition", "seed", "duration", "trace", "prepare",
-                 "costs")
+                 "costs", "batch")
 
     def __init__(self, partition: Partition, seed: int,
                  duration: float, trace: bool,
-                 prepare=None, costs=DEFAULT_COSTS) -> None:
+                 prepare=None, costs=DEFAULT_COSTS,
+                 batch: bool = True) -> None:
         self.partition = partition
         self.seed = seed
         self.duration = float(duration)
         self.trace = trace
         self.prepare = prepare
         self.costs = costs
+        #: Coalesce each round's exports into one group per peer
+        #: shard (the default).  ``False`` ships one group per frame
+        #: — the pre-batching wire behaviour, kept as the oracle for
+        #: the batched/unbatched equivalence property tests.
+        self.batch = batch
 
     @property
     def spec(self):
@@ -136,13 +162,23 @@ class _ShardRuntime:
         self.index = index
         self.duration = program.duration
         partition = program.partition
+        # trace=True captures an in-memory trace for parity digests.
+        # Otherwise a single-shard (in-process) run defers to the
+        # ambient default tracer — ``tracer=None`` makes Simulator
+        # consult ``get_default_tracer()`` — so ``--trace``-style
+        # sinks installed by the caller keep working through the
+        # engine.  Multi-shard workers pin NULL_TRACER: a forked
+        # worker inheriting the parent's open trace sink would
+        # interleave garbage into it.
         tracer = (Tracer(capacity=None) if program.trace
-                  else NULL_TRACER)
+                  else (None if partition.shards == 1 else NULL_TRACER))
         self.sim = Simulator(seed=program.seed, tracer=tracer)
 
-        #: Frames exported this window, as
-        #: ``(dst_shard, rank, arrival, seq, frame, dst_key)``.
-        self.outbox: List[Tuple] = []
+        #: Frames exported this window, bucketed per destination
+        #: shard as ``{dst_shard: [(rank, arrival, seq, frame,
+        #: dst_key), ...]}`` in emission order.  :meth:`_flush`
+        #: drains it into the reply's channel-flush groups.
+        self._outbox: Dict[int, List[Tuple]] = {}
         self._emit_seq = 0
         self._out = {(ch.src_node, ch.dst_node): ch
                      for ch in partition.channels
@@ -182,8 +218,30 @@ class _ShardRuntime:
         channel = self._out[(src_node, dst_node)]
         frame.packet._mbuf_chain = None
         self._emit_seq += 1
-        self.outbox.append((channel.dst_shard, channel.rank, arrival,
-                            self._emit_seq, frame, dst_key))
+        bucket = self._outbox.get(channel.dst_shard)
+        if bucket is None:
+            bucket = self._outbox[channel.dst_shard] = []
+        bucket.append((channel.rank, arrival, self._emit_seq, frame,
+                       dst_key))
+
+    def _flush(self) -> List[Tuple[int, List[Tuple]]]:
+        """Drain the outbox into channel-flush groups ``(dst_shard,
+        [messages...])``.  Batched mode ships one group per peer —
+        everything a round exported to that shard in a single
+        serialized unit; unbatched mode ships one group per frame
+        (the differential oracle).  The dict is retained and cleared
+        so the bucket map is not reallocated every round."""
+        if not self._outbox:
+            return []
+        if self.program.batch:
+            groups = [(dst, self._outbox[dst])
+                      for dst in sorted(self._outbox)]
+        else:
+            groups = [(dst, [message])
+                      for dst in sorted(self._outbox)
+                      for message in self._outbox[dst]]
+        self._outbox.clear()
+        return groups
 
     def insert(self, messages: Sequence[Tuple]) -> None:
         """Schedule inbound frames ``(rank, arrival, seq, frame,
@@ -206,7 +264,9 @@ class _ShardRuntime:
                   messages: Sequence[Tuple]
                   ) -> Tuple[float, bool, List[Tuple]]:
         """One coordinator round: deliver *messages*, run the granted
-        window, hand back (next event, finished, exported frames)."""
+        window (a multi-event horizon — every local event strictly
+        before the grant runs in this one round-trip), hand back
+        (next event, finished, channel-flush groups)."""
         if messages:
             self.insert(messages)
         if grant is not None and not self.finished:
@@ -215,9 +275,7 @@ class _ShardRuntime:
                 self.finished = True
             else:
                 self.sim.run_events_before(grant)
-        out = self.outbox
-        self.outbox = []
-        return self.next_event(), self.finished, out
+        return self.next_event(), self.finished, self._flush()
 
     def finish(self, leftovers: Sequence[Tuple]) -> Dict[str, Any]:
         """Run to the horizon if not already there, absorb leftover
@@ -260,8 +318,25 @@ class _InlineTransport:
     and the only one the one-shard fast path needs."""
 
     def __init__(self, program: ShardProgram) -> None:
+        self.batch = program.batch
+        #: Wall-clock seconds spent serializing cross-shard frames
+        #: (surfaced in the sync stats; never part of the
+        #: deterministic subset).
+        self.serialization_sec = 0.0
         self.runtimes = [_ShardRuntime(program, i)
                          for i in range(program.partition.shards)]
+
+    def _ship(self, messages):
+        """Copy *messages* across the (modelled) shard boundary: one
+        pickle for the whole per-peer batch, or one per frame when
+        batching is off."""
+        started = time.perf_counter()
+        if self.batch:
+            shipped = _roundtrip(messages)
+        else:
+            shipped = [_roundtrip([m])[0] for m in messages]
+        self.serialization_sec += time.perf_counter() - started
+        return shipped
 
     def ready(self) -> List[float]:
         return [rt.next_event() for rt in self.runtimes]
@@ -270,14 +345,18 @@ class _InlineTransport:
         replies = []
         for rt, grant, messages in zip(self.runtimes, grants, pending):
             if grant is None and not messages:
+                # Placeholder for a shard the coordinator did not
+                # step (finished, or skipped while idle).  The driver
+                # must ignore it — absorbing it would wrongly mark a
+                # skipped shard finished.
                 replies.append((_INF, True, []))
                 continue
             replies.append(rt.step_with(
-                grant, _roundtrip(messages) if messages else []))
+                grant, self._ship(messages) if messages else []))
         return replies
 
     def finish(self, leftovers):
-        return [rt.finish(_roundtrip(msgs) if msgs else [])
+        return [rt.finish(self._ship(msgs) if msgs else [])
                 for rt, msgs in zip(self.runtimes, leftovers)]
 
     def close(self) -> None:
@@ -321,6 +400,7 @@ class _ProcessTransport:
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else None)
+        self.serialization_sec = 0.0
         self.conns = []
         self.procs = []
         try:
@@ -356,9 +436,13 @@ class _ProcessTransport:
         for index, (grant, messages) in enumerate(zip(grants,
                                                       pending)):
             if grant is None and not messages:
+                # Placeholder the driver must ignore (see
+                # _InlineTransport.step).
                 replies[index] = (_INF, True, [])
                 continue
+            started = time.perf_counter()
             self.conns[index].send(("step", grant, messages))
+            self.serialization_sec += time.perf_counter() - started
             active.append(index)
         for index in active:
             reply = self._recv(index)
@@ -424,94 +508,250 @@ def effective_next_events(ne: Sequence[float],
     return eff
 
 
+class LookaheadClosure:
+    """The lookahead fixpoint relaxation, hoisted out of the round
+    loop.
+
+    The channel graph is static for a run; the only round-varying
+    input to the old per-round relaxation was which shards had
+    finished.  For a fixed finished set the relaxed grant bound is
+
+        ``grant_j = min over unfinished k of (eff_k + G[j][k])``
+
+    where ``G[j][k]`` is the cheapest lookahead path from shard *k*'s
+    clock to shard *j*'s grant: the minimum over *j*'s in-channels
+    ``i -> j`` (``i`` unfinished) of (shortest lookahead path
+    ``k -> ... -> i`` over edges whose source is unfinished)
+    ``+ L_ij``.  That matrix is computed once per finished set — at
+    most ``shards + 1`` times per run, since the set only grows — and
+    each round's grants become one min-fold over it.
+    """
+
+    def __init__(self, partition: Partition,
+                 in_channels: Optional[List[List[ChannelLink]]] = None
+                 ) -> None:
+        self.partition = partition
+        self.in_channels = (in_channel_lists(partition)
+                            if in_channels is None else in_channels)
+        self._cache: Dict[FrozenSet[int], List[List[float]]] = {}
+
+    def gains(self, finished: Sequence[bool]) -> List[List[float]]:
+        """``G[j][k]`` for the given finished set (cached)."""
+        key = frozenset(i for i, done in enumerate(finished) if done)
+        matrix = self._cache.get(key)
+        if matrix is None:
+            matrix = self._cache[key] = self._build(key)
+        return matrix
+
+    def _build(self, done: FrozenSet[int]) -> List[List[float]]:
+        n = self.partition.shards
+        # dist[k][i]: shortest lookahead path k -> ... -> i over
+        # channels whose source shard is unfinished (edges out of
+        # finished shards are dead — they will never emit again).
+        # Paths therefore never pass through a finished shard.
+        dist = [[_INF] * n for _ in range(n)]
+        for k in range(n):
+            if k not in done:
+                dist[k][k] = 0.0
+        live = [ch for ch in self.partition.channels
+                if ch.src_shard not in done]
+        changed = True
+        while changed:
+            changed = False
+            for ch in live:
+                src, dst, edge = (ch.src_shard, ch.dst_shard,
+                                  ch.lookahead_usec)
+                for k in range(n):
+                    bound = dist[k][src] + edge
+                    if bound < dist[k][dst]:
+                        dist[k][dst] = bound
+                        changed = True
+        gains = [[_INF] * n for _ in range(n)]
+        for j in range(n):
+            row = gains[j]
+            for ch in self.in_channels[j]:
+                i = ch.src_shard
+                if i in done:
+                    continue
+                for k in range(n):
+                    bound = dist[k][i] + ch.lookahead_usec
+                    if bound < row[k]:
+                        row[k] = bound
+        return gains
+
+
 def compute_grants(partition: Partition, ne: Sequence[float],
                    finished: Sequence[bool],
                    pending: Sequence[Sequence[Tuple]],
-                   in_channels: Optional[List[List[ChannelLink]]] = None
+                   in_channels: Optional[List[List[ChannelLink]]] = None,
+                   closure: Optional[LookaheadClosure] = None
                    ) -> List[Optional[float]]:
     """One round of the conservative grant computation: effective
-    next events, the least-fixpoint lower-bound relaxation over the
-    channel graph, then each unfinished shard's grant (``None`` for
-    finished shards).
+    next events folded over the cached lookahead closure, giving each
+    unfinished shard its grant (``None`` for finished shards).
+
+    A shard's next action may be triggered by a frame it has not seen
+    yet — one that another shard will emit when *its* next action
+    runs, possibly in response to a frame from a third shard, and so
+    on around cycles (a gateway bouncing a shard's own traffic back
+    at it).  The closure carries exactly that transitive relaxation;
+    drivers hold a :class:`LookaheadClosure` across rounds and pass
+    it in (a transient one is built when omitted, e.g. by tests
+    calling this directly).
 
     This is the single source of truth for the sync protocol; both the
     plain driver below and the supervised driver
     (:mod:`repro.engine.supervisor`) call it, so a protocol change can
     never diverge between them.
     """
-    if in_channels is None:
-        in_channels = in_channel_lists(partition)
+    if closure is None:
+        closure = LookaheadClosure(partition, in_channels)
     eff = effective_next_events(ne, pending)
-    # Transitive lower bounds.  A shard's next action may be
-    # triggered by a frame it has not seen yet — one that another
-    # shard will emit when *its* next action runs, possibly in
-    # response to a frame from a third shard, and so on around
-    # cycles (a gateway bouncing a shard's own traffic back at
-    # it).  Relax the lookahead edges to the least fixpoint:
-    # lb_j = min(eff_j, min over channels i->j of lb_i + L_ij).
-    # Strictly positive lookahead makes this a shortest-path
-    # relaxation that terminates.  Edges out of finished shards
-    # are dead — they will never emit again.
-    lb = list(eff)
-    changed = True
-    while changed:
-        changed = False
-        for channel in partition.channels:
-            if finished[channel.src_shard]:
-                continue
-            bound = (lb[channel.src_shard]
-                     + channel.lookahead_usec)
-            if bound < lb[channel.dst_shard]:
-                lb[channel.dst_shard] = bound
-                changed = True
+    gains = closure.gains(finished)
     grants: List[Optional[float]] = []
     for j in range(partition.shards):
         if finished[j]:
             grants.append(None)
             continue
         grant = _INF
-        for channel in in_channels[j]:
-            src = channel.src_shard
-            if finished[src]:
-                continue
-            bound = lb[src] + channel.lookahead_usec
+        for k, gain in enumerate(gains[j]):
+            bound = eff[k] + gain
             if bound < grant:
                 grant = bound
         grants.append(grant)
     return grants
 
 
-def _drive(transport, partition: Partition, duration: float
-           ) -> Tuple[List[List[Tuple]], int]:
+class SyncStats:
+    """Per-run counters of the conservative-sync protocol.
+
+    Everything here is deterministic — a pure function of the
+    partition and the workload — except ``serialization_sec``, which
+    is wall clock and therefore kept out of :meth:`as_dict` (the form
+    embedded in experiment results, where serial/parallel/cached
+    parity is asserted byte-for-byte).
+    """
+
+    __slots__ = ("rounds", "steps", "skipped_steps", "grants_issued",
+                 "channel_frames", "channel_wire_bytes",
+                 "serialization_sec", "_channel_names")
+
+    def __init__(self, partition: Partition) -> None:
+        #: Synchronous coordinator round-trips taken.
+        self.rounds = 0
+        #: Shard-step requests actually issued (rounds × shards,
+        #: minus the skipped and finished ones).
+        self.steps = 0
+        #: Idle shards the coordinator left alone instead of
+        #: round-tripping a no-op grant.
+        self.skipped_steps = 0
+        #: Non-``None`` grants computed (null grants to finished
+        #: shards excluded).
+        self.grants_issued = 0
+        self._channel_names = tuple(
+            f"{ch.src_node}->{ch.dst_node}"
+            for ch in partition.channels)
+        #: Frames / wire bytes shipped per channel, keyed
+        #: ``"src_node->dst_node"``.
+        self.channel_frames = {name: 0
+                               for name in self._channel_names}
+        self.channel_wire_bytes = {name: 0
+                                   for name in self._channel_names}
+        self.serialization_sec = 0.0
+
+    def count_frame(self, rank: int, frame) -> None:
+        name = self._channel_names[rank]
+        self.channel_frames[name] += 1
+        self.channel_wire_bytes[name] += frame.wire_len
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The deterministic subset, for embedding in results."""
+        return {
+            "rounds": self.rounds,
+            "steps": self.steps,
+            "skipped_steps": self.skipped_steps,
+            "grants_issued": self.grants_issued,
+            "frames": sum(self.channel_frames.values()),
+            "wire_bytes": sum(self.channel_wire_bytes.values()),
+            "channel_frames": dict(self.channel_frames),
+            "channel_wire_bytes": dict(self.channel_wire_bytes),
+        }
+
+
+def _drive(transport, partition: Partition, duration: float,
+           stats: Optional[SyncStats] = None
+           ) -> Tuple[List[List[Tuple]], SyncStats]:
     """Run the synchronous round protocol to completion.  Returns the
-    per-shard leftover messages (all past the horizon) and the round
-    count."""
+    per-shard leftover messages (all past the horizon) and the sync
+    stats (rounds taken, steps issued/skipped, per-channel traffic).
+
+    Round-count reduction, on top of the widened lookahead baked into
+    the channel graph: grants are multi-event horizons (one round
+    runs *every* local event below the grant), and shards that are
+    provably idle this round — nothing to deliver, no local event
+    below the grant, grant within the horizon — are skipped entirely
+    instead of being round-tripped for a no-op.  Skipping cannot
+    stall: the shard holding the globally minimal effective next
+    event always receives a grant strictly above it (positive
+    lookahead), so it is never skipped, and a quiescent world drives
+    every grant past the horizon, which the skip test never elides.
+    """
     shards = partition.shards
     in_channels = in_channel_lists(partition)
+    closure = LookaheadClosure(partition, in_channels)
     max_rounds = round_budget(partition, duration)
+    stats = SyncStats(partition) if stats is None else stats
 
     ne = list(transport.ready())
     finished = [False] * shards
+    # Per-shard delivery buffers, reused across rounds (cleared, not
+    # reallocated) — safe because both transports serialize messages
+    # before step() returns.
     pending: List[List[Tuple]] = [[] for _ in range(shards)]
-    rounds = 0
+    stepped = [False] * shards
     while not all(finished):
-        rounds += 1
-        if rounds > max_rounds:
+        stats.rounds += 1
+        if stats.rounds > max_rounds:
             raise ShardSyncError(
                 f"no termination after {max_rounds} rounds "
                 f"(min lookahead {partition.min_lookahead()!r}us, "
                 f"duration {duration!r}us)")
         grants = compute_grants(partition, ne, finished, pending,
-                                in_channels)
+                                in_channels, closure)
+        for j in range(shards):
+            grant = grants[j]
+            if grant is None:
+                # Finished: stepped only to deliver late arrivals.
+                stepped[j] = bool(pending[j])
+                continue
+            stats.grants_issued += 1
+            if (not pending[j] and grant <= ne[j]
+                    and grant <= duration):
+                # Skip-idle: the grant would run nothing and there is
+                # nothing to deliver; leave the shard alone (its ne
+                # stays valid — it neither ran nor received).
+                grants[j] = None
+                stats.skipped_steps += 1
+                stepped[j] = False
+                continue
+            stepped[j] = True
         replies = transport.step(grants, pending)
-        pending = [[] for _ in range(shards)]
-        for j, (ne_j, finished_j, outbox) in enumerate(replies):
+        for bucket in pending:
+            bucket.clear()
+        for j in range(shards):
+            if not stepped[j]:
+                # Placeholder reply — the shard was not stepped, so
+                # its ne/finished state is unchanged.
+                continue
+            stats.steps += 1
+            ne_j, finished_j, groups = replies[j]
             ne[j] = ne_j
             finished[j] = finished_j
-            for dst, rank, arrival, seq, frame, dst_key in outbox:
-                pending[dst].append((rank, arrival, seq, frame,
-                                     dst_key))
-    return pending, rounds
+            for dst, messages in groups:
+                for message in messages:
+                    stats.count_frame(message[0], message[3])
+                pending[dst].extend(messages)
+    return pending, stats
 
 
 # ----------------------------------------------------------------------
@@ -529,6 +769,14 @@ class ShardedRun:
         Total and per-shard simulator event counts.
     rounds:
         Coordinator rounds taken (1 for a single shard).
+    sync:
+        Deterministic sync-protocol counters
+        (:meth:`SyncStats.as_dict`: rounds, steps, skipped steps,
+        grants issued, frames / wire bytes per channel), or ``None``
+        for drivers that do not collect them.
+    serialization_sec:
+        Wall-clock seconds the transport spent serializing
+        cross-shard frames (not deterministic; kept out of ``sync``).
     conservation:
         Per-shard fabric ledgers; :meth:`total_conservation` folds
         them and checks the cross-shard terms cancel.
@@ -540,11 +788,15 @@ class ShardedRun:
     """
 
     def __init__(self, payloads: List[Dict[str, Any]], rounds: int,
-                 partition: Partition, mode: str) -> None:
+                 partition: Partition, mode: str,
+                 sync: Optional[Dict[str, Any]] = None,
+                 serialization_sec: float = 0.0) -> None:
         self.partition = partition
         self.shards = partition.shards
         self.mode = mode
         self.rounds = rounds
+        self.sync = sync
+        self.serialization_sec = serialization_sec
         self.collected: Dict[str, Any] = {}
         for payload in payloads:
             self.collected.update(payload["collected"])
@@ -622,13 +874,17 @@ class ShardedEngine:
         the fabric is built, before component builds.
     trace:
         Capture and merge trace records (golden/parity workflows).
+    batch:
+        Coalesce each round's exported frames into one group per
+        peer shard (default).  ``False`` ships one group per frame —
+        the equivalence-testing oracle.
     """
 
     def __init__(self, spec, components: Sequence[Component], *,
                  shards: int = 1, mode: str = "auto",
                  assignment: Optional[Sequence[Sequence[str]]] = None,
                  prepare=None, costs=DEFAULT_COSTS,
-                 trace: bool = False) -> None:
+                 trace: bool = False, batch: bool = True) -> None:
         if mode not in ("auto", "inline", "process"):
             raise ValueError(f"unknown mode {mode!r}")
         covered = cover_switches(spec, components)
@@ -638,6 +894,7 @@ class ShardedEngine:
         self.prepare = prepare
         self.costs = costs
         self.trace = trace
+        self.batch = batch
 
     @property
     def shards(self) -> int:
@@ -648,7 +905,8 @@ class ShardedEngine:
         :class:`ShardedRun`."""
         program = ShardProgram(self.partition, seed=seed,
                                duration=duration, trace=self.trace,
-                               prepare=self.prepare, costs=self.costs)
+                               prepare=self.prepare, costs=self.costs,
+                               batch=self.batch)
         mode = self.mode
         if mode == "auto":
             mode = "inline" if self.partition.shards == 1 \
@@ -656,12 +914,15 @@ class ShardedEngine:
         transport = (_ProcessTransport(program) if mode == "process"
                      else _InlineTransport(program))
         try:
-            leftovers, rounds = _drive(transport, self.partition,
-                                       program.duration)
+            leftovers, stats = _drive(transport, self.partition,
+                                      program.duration)
             payloads = transport.finish(leftovers)
         finally:
             transport.close()
-        return ShardedRun(payloads, rounds, self.partition, mode)
+        return ShardedRun(payloads, stats.rounds, self.partition,
+                          mode, sync=stats.as_dict(),
+                          serialization_sec=transport
+                          .serialization_sec)
 
     def run_supervised(self, duration: float, seed: int = 0, *,
                        policy=None, chaos=None):

@@ -71,6 +71,8 @@ from repro.engine.sharded import (
     ShardedRun,
     _InlineTransport,
     _ShardRuntime,
+    LookaheadClosure,
+    SyncStats,
     compute_grants,
     effective_next_events,
     in_channel_lists,
@@ -594,8 +596,10 @@ class SupervisedRun(ShardedRun):
 
     def __init__(self, payloads, rounds, partition, mode,
                  recovery: List[RecoveryEvent],
-                 requested_shards: int) -> None:
-        super().__init__(payloads, rounds, partition, mode)
+                 requested_shards: int,
+                 sync: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(payloads, rounds, partition, mode,
+                         sync=sync)
         self.recovery: Tuple[RecoveryEvent, ...] = tuple(recovery)
         self.requested_shards = requested_shards
 
@@ -662,11 +666,12 @@ class Supervisor:
         while True:
             terminal = self._next_rung(partition, mode) is None
             try:
-                payloads, rounds = self._run_rung(
+                payloads, rounds, stats = self._run_rung(
                     partition, mode, duration, seed, terminal)
                 return SupervisedRun(payloads, rounds, partition,
                                      mode, self._events,
-                                     requested_shards)
+                                     requested_shards,
+                                     sync=stats.as_dict())
             except _RungExhausted as exc:
                 nxt = (self._next_rung(partition, mode)
                        if self.policy.degrade else None)
@@ -749,6 +754,11 @@ class Supervisor:
             partition, duration,
             extra_rounds=(epochs_total + 1) * 4 * shards)
         in_channels = in_channel_lists(partition)
+        closure = LookaheadClosure(partition, in_channels)
+        # Sync stats for the rung that completes; restarts within the
+        # rung keep accumulating (the counters describe the work the
+        # supervised run actually did, replays included).
+        stats = SyncStats(partition)
         soft = policy.soft_timeout_sec
         hard = policy.round_timeout_sec
 
@@ -834,9 +844,12 @@ class Supervisor:
                                 checkpoint = fresh
                                 self._arm_chaos(epoch, shards,
                                                 terminal, round_no)
+                        stats.rounds += 1
                         grants = compute_grants(partition, ne,
                                                 finished, pending,
-                                                in_channels)
+                                                in_channels, closure)
+                        stats.grants_issued += sum(
+                            1 for g in grants if g is not None)
                         if ckpt_policy.enabled:
                             barrier = ckpt_policy.barrier(epoch + 1)
                             if barrier <= duration:
@@ -860,19 +873,22 @@ class Supervisor:
                                        detail=f"soft deadline "
                                               f"{soft}s missed")
 
+                        stats.steps += sum(
+                            1 for j in range(shards)
+                            if grants[j] is not None or pending[j])
                         replies = transport.step(
                             grants, pending, directives,
                             soft=soft, hard=hard, on_slow=on_slow)
                         pending = [[] for _ in range(shards)]
-                        for j, (ne_j, fin_j, outbox) in \
+                        for j, (ne_j, fin_j, groups) in \
                                 enumerate(replies):
                             ne[j] = ne_j
                             finished[j] = fin_j
-                            for (dst, rank, arrival, seq, frame,
-                                 dst_key) in outbox:
-                                pending[dst].append(
-                                    (rank, arrival, seq, frame,
-                                     dst_key))
+                            for dst, messages in groups:
+                                for message in messages:
+                                    stats.count_frame(message[0],
+                                                      message[3])
+                                pending[dst].extend(messages)
 
                     # ---- finish ---------------------------------------
                     if self._chaos is not None:
@@ -888,7 +904,7 @@ class Supervisor:
                         pending, hard=policy.finish_timeout_sec)
                     transport.close()
                     transport = None
-                    return payloads, round_no
+                    return payloads, round_no, stats
                 except _WorkerFailure as failure:
                     kind = (RECOVERY_WORKER_HUNG
                             if failure.kind == "hang"

@@ -250,6 +250,9 @@ def run_incast_point(arch: Architecture, fan_in: int,
              for port in sw.values()), default=0),
         "cpu_idle": server["cpu_idle"],
         "events": run.events,
+        # Conservative-sync counters (rounds, grants, channel
+        # frames); deterministic for a given (point, shard count).
+        "sync": run.sync,
     }
 
 
@@ -382,6 +385,9 @@ def run_chain_point(arch: Architecture, flood_pps: float,
         "drop_switch": (ledger["drops_port_queue"]
                         + ledger["drops_red"]),
         "events": run.events,
+        # Conservative-sync counters (rounds, grants, channel
+        # frames); deterministic for a given (point, shard count).
+        "sync": run.sync,
     }
 
 

@@ -24,9 +24,17 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import Architecture
+from repro.engine.component import HostComponent, SourceComponent
 from repro.engine.process import Sleep, Syscall
-from repro.faults import FaultPlan, FaultRule
+from repro.engine.sharded import ShardedEngine
+from repro.faults import FaultPlan, FaultPlane, FaultRule
 from repro.net.ip import IPPROTO_TCP
+from repro.net.topology import (
+    BindingSpec,
+    LinkSpec,
+    SwitchSpec,
+    TopologySpec,
+)
 from repro.runner import SweepRunner
 from repro.apps import udp_blast_sink
 from repro.stats.metrics import LatencyRecorder
@@ -56,24 +64,62 @@ BLAST_EXTRA_PPS = 16000.0
 
 DEFAULT_INTENSITIES = (0.0, 0.25, 0.5, 0.75, 1.0)
 
+#: Declared server think time (µs) — a vacuous lookahead promise (the
+#: sinks never transmit) that collapses the conservative-sync round
+#: count when the point runs sharded.  See
+#: :data:`repro.experiments.figure3.SERVER_THINK_USEC`.
+SERVER_THINK_USEC = 5_000.0
 
-def build_fault_plan(intensity: float, duration_usec: float,
-                     seed: int) -> FaultPlan:
-    """The canonical degradation plan, scaled by *intensity*.
 
-    A mid-run fault window [0.35, 0.55] of the duration combines link
-    loss and bit corruption with an mbuf squeeze; a shorter NIC stall
-    on the blast port sits inside it.  Intensity 0 is the empty plan
-    (byte-identical to a fault-free run).
+def degradation_spec() -> TopologySpec:
+    """The degradation star: victim and blaster share one switch into
+    the server — the flat testbed with its three attachment points
+    made explicit, so the scenario partitions for the sharded engine
+    (the server on one shard, both senders with the switch on the
+    other under the default two-shard placement)."""
+    return TopologySpec(
+        name="degradation-star",
+        switches=(SwitchSpec("sw0"),),
+        links=(LinkSpec("victim", "sw0"),
+               LinkSpec("blaster", "sw0"),
+               LinkSpec("sw0", "server")),
+        bindings=(BindingSpec(SERVER_ADDR, "server"),
+                  BindingSpec(CLIENT_A_ADDR, "victim"),
+                  BindingSpec(CLIENT_C_ADDR, "blaster")))
+
+
+def edge_fault_plan(intensity: float, duration_usec: float,
+                    seed: int) -> Optional[FaultPlan]:
+    """The wire half of the canonical degradation plan: link loss and
+    bit corruption over the mid-run window [0.35, 0.55] of the
+    duration.  One instance attaches per sender access edge (with a
+    per-edge seed), so each client's fault draws are a pure function
+    of its own frame sequence — which is what keeps them invariant to
+    how the scenario is sharded.  ``None`` at intensity 0.
     """
     if intensity <= 0:
-        return FaultPlan(seed=seed, rules=())
+        return None
     w0, w1 = 0.35 * duration_usec, 0.55 * duration_usec
     return FaultPlan(seed=seed, rules=(
         FaultRule("link", "drop", start_usec=w0, end_usec=w1,
                   probability=0.25 * intensity, name="loss-burst"),
         FaultRule("link", "corrupt", start_usec=w0, end_usec=w1,
                   probability=0.15 * intensity, name="corrupt-burst"),
+    ))
+
+
+def host_fault_plan(intensity: float, duration_usec: float,
+                    seed: int) -> Optional[FaultPlan]:
+    """The receiver half of the plan: a NIC stall on the blast port
+    inside the window plus an mbuf-pool squeeze across it.  Stall and
+    exhaust rules schedule their window edges at plane construction,
+    so this plane must be built only on the shard owning the server
+    (inside its build hook).  ``None`` at intensity 0.
+    """
+    if intensity <= 0:
+        return None
+    w0, w1 = 0.35 * duration_usec, 0.55 * duration_usec
+    return FaultPlan(seed=seed, rules=(
         FaultRule("nic", "stall", start_usec=0.40 * duration_usec,
                   end_usec=0.45 * duration_usec, dst_port=BLAST_PORT,
                   name="blast-stall"),
@@ -108,35 +154,43 @@ def _recovery_usec(stamps: Sequence[float], window_end: float,
     return None
 
 
-def run_point(arch: Architecture, intensity: float,
-              duration_usec: float = 1_200_000.0,
-              warmup_usec: float = 200_000.0,
-              seed: int = 7) -> Dict:
-    """One degradation point: victim flow vs. blaster under the
-    canonical fault plan at *intensity*."""
-    arch = Architecture(arch)
-    plan = build_fault_plan(intensity, duration_usec, seed)
-    bed = Testbed(seed=seed, fault_plan=plan)
-    server = bed.add_host(SERVER_ADDR, arch)
+# ----------------------------------------------------------------------
+# Component hooks (module-level: picklable by reference when a point
+# runs sharded; see docs/PDES.md)
+# ----------------------------------------------------------------------
+def _attach_edge_plane(world, node: str, intensity: float,
+                       duration_usec: float, seed: int):
+    """Build the wire-fault plane for *node*'s access edge and attach
+    it; ``None`` when the plan is empty."""
+    plan = edge_fault_plan(intensity, duration_usec, seed)
+    if plan is None:
+        return None
+    plane = FaultPlane(world.sim, plan)
+    world.fabric.attach_link_fault_plane(node, "sw0", plane)
+    return plane
 
-    victim = RawUdpInjector(bed.sim, bed.network, CLIENT_A_ADDR,
-                            SERVER_ADDR, VICTIM_PORT, src_port=22000)
-    blaster = BurstyUdpBlaster(bed.sim, bed.network, CLIENT_C_ADDR,
-                               SERVER_ADDR, BLAST_PORT)
 
+def _deg_server_build(world, arch, intensity, duration_usec, seed, **_):
+    plane = None
+    plan = host_fault_plan(intensity, duration_usec, seed)
+    if plan is not None:
+        plane = FaultPlane(world.sim, plan)
+    host = world.add_host(SERVER_ADDR, Architecture(arch),
+                          name="server", fault_plane=plane)
     recorder = LatencyRecorder()
+    sim = world.sim
 
     def on_victim(stamp, dgram):
-        recorder.record(bed.sim.now - stamp, now=bed.sim.now)
+        recorder.record(sim.now - stamp, now=sim.now)
 
-    server.spawn("victim-srv",
-                 udp_blast_sink(VICTIM_PORT, on_receive=on_victim))
-    server.spawn("blast-sink", udp_blast_sink(BLAST_PORT))
+    host.spawn("victim-srv",
+               udp_blast_sink(VICTIM_PORT, on_receive=on_victim))
+    host.spawn("blast-sink", udp_blast_sink(BLAST_PORT))
+    return host, recorder, plane
 
-    bed.sim.schedule(10_000.0, victim.start, VICTIM_PPS)
-    blast_pps = BLAST_BASE_PPS + intensity * BLAST_EXTRA_PPS
-    bed.sim.schedule(20_000.0, blaster.start, blast_pps)
-    bed.run(duration_usec)
+
+def _deg_server_collect(world, state, duration_usec, warmup_usec, **_):
+    host, recorder, plane = state
 
     # Goodput and latency tails over the measurement window.
     window = duration_usec - warmup_usec
@@ -155,11 +209,8 @@ def run_point(arch: Architecture, intensity: float,
     recovery = _recovery_usec(recorder.stamps, w1, duration_usec,
                               baseline)
 
-    plane = bed.fault_plane
-    stack = server.stack
+    stack = host.stack
     return {
-        "intensity": intensity,
-        "blast_pps": blast_pps,
         "victim_goodput_pps": _num(goodput, 1),
         "latency_p50_usec": _num(tail.percentile(50.0), 1),
         "latency_p95_usec": _num(tail.percentile(95.0), 1),
@@ -171,6 +222,109 @@ def run_point(arch: Architecture, intensity: float,
             stack.iter_channels()),
         "mbuf_exhaustions": stack.mbufs.exhaustions,
         "drop_corrupt": stack.stats.get("drop_corrupt"),
+    }
+
+
+def _deg_victim_build(world, intensity, duration_usec, seed, **_):
+    plane = _attach_edge_plane(world, "victim", intensity,
+                               duration_usec, seed)
+    injector = RawUdpInjector(world.sim, world.fabric, CLIENT_A_ADDR,
+                              SERVER_ADDR, VICTIM_PORT, src_port=22000)
+    world.sim.schedule(10_000.0, injector.start, VICTIM_PPS)
+    return injector, plane
+
+
+def _deg_blaster_build(world, intensity, duration_usec, seed,
+                       blast_pps, **_):
+    # seed+1: the blaster's edge plane must draw from streams distinct
+    # from the victim's (identical plans share per-rule RNG seeds).
+    plane = _attach_edge_plane(world, "blaster", intensity,
+                               duration_usec, seed + 1)
+    blaster = BurstyUdpBlaster(world.sim, world.fabric, CLIENT_C_ADDR,
+                               SERVER_ADDR, BLAST_PORT)
+    world.sim.schedule(20_000.0, blaster.start, blast_pps)
+    return blaster, plane
+
+
+def _deg_sender_collect(world, state, **_):
+    sender, plane = state
+    return {
+        "sent": sender.sent,
+        "injected_faults": plane.injected_total() if plane else 0,
+        "faults": plane.snapshot() if plane else {},
+    }
+
+
+def degradation_components(arch: Architecture, intensity: float,
+                           duration_usec: float, warmup_usec: float,
+                           seed: int, blast_pps: float) -> List:
+    """The degradation point as a component declaration over
+    :func:`degradation_spec` node names."""
+    common = {"intensity": intensity, "duration_usec": duration_usec,
+              "seed": seed}
+    return [
+        HostComponent("server", "server", build=_deg_server_build,
+                      collect=_deg_server_collect,
+                      kwargs={**common, "arch": arch.value,
+                              "warmup_usec": warmup_usec},
+                      min_delay_usec=SERVER_THINK_USEC),
+        SourceComponent("victim", "victim", build=_deg_victim_build,
+                        collect=_deg_sender_collect, kwargs=common),
+        SourceComponent("blaster", "blaster", build=_deg_blaster_build,
+                        collect=_deg_sender_collect,
+                        kwargs={**common, "blast_pps": blast_pps}),
+    ]
+
+
+def run_point(arch: Architecture, intensity: float,
+              duration_usec: float = 1_200_000.0,
+              warmup_usec: float = 200_000.0,
+              seed: int = 7,
+              shards: int = 1,
+              shard_mode: str = "auto") -> Dict:
+    """One degradation point: victim flow vs. blaster under the
+    canonical fault plan at *intensity*.
+
+    *shards* > 1 runs the same components under the conservative-time
+    sharded engine; the reported numbers are invariant to the shard
+    count because every fault draw is local to one shard (wire rules
+    on each sender's own access edge, NIC/mbuf rules on the server's
+    shard).
+    """
+    arch = Architecture(arch)
+    blast_pps = BLAST_BASE_PPS + intensity * BLAST_EXTRA_PPS
+    spec = degradation_spec()
+    comps = degradation_components(arch, intensity, duration_usec,
+                                   warmup_usec, seed, blast_pps)
+    engine = ShardedEngine(spec, comps, shards=shards,
+                           mode=shard_mode)
+    run = engine.run(duration_usec, seed=seed)
+
+    server = run.collected["server"]
+    senders = (run.collected["victim"], run.collected["blaster"])
+    faults: Dict[str, int] = {}
+    for part in (server, *senders):
+        for key, value in part["faults"].items():
+            faults[key] = faults.get(key, 0) + value
+    injected = sum(part["injected_faults"]
+                   for part in (server, *senders))
+
+    return {
+        "intensity": intensity,
+        "blast_pps": blast_pps,
+        "victim_goodput_pps": server["victim_goodput_pps"],
+        "latency_p50_usec": server["latency_p50_usec"],
+        "latency_p95_usec": server["latency_p95_usec"],
+        "latency_p99_usec": server["latency_p99_usec"],
+        "recovery_usec": server["recovery_usec"],
+        "injected_faults": injected,
+        "faults": faults,
+        "channel_discards": server["channel_discards"],
+        "mbuf_exhaustions": server["mbuf_exhaustions"],
+        "drop_corrupt": server["drop_corrupt"],
+        # Conservative-sync counters (rounds, grants, channel frames);
+        # deterministic for a given (point, shard count).
+        "sync": run.sync,
     }
 
 
@@ -273,12 +427,14 @@ def run_experiment(
         systems: Sequence[Architecture] = MAIN_SYSTEMS,
         duration_usec: float = 1_200_000.0,
         tcp_intensities: Sequence[float] = (1.0,),
-        runner: Optional[SweepRunner] = None) -> Dict:
+        runner: Optional[SweepRunner] = None,
+        shards: int = 1) -> Dict:
     runner = runner or SweepRunner()
     grid = [(arch, i) for arch in systems for i in intensities]
     points = runner.map(
         run_point,
-        [dict(arch=arch, intensity=i, duration_usec=duration_usec)
+        [dict(arch=arch, intensity=i, duration_usec=duration_usec,
+              shards=shards)
          for arch, i in grid],
         label="degradation")
 
@@ -337,12 +493,13 @@ def report(result: Dict) -> str:
 
 
 def main(fast: bool = False,
-         runner: Optional[SweepRunner] = None) -> str:
+         runner: Optional[SweepRunner] = None,
+         shards: int = 1) -> str:
     intensities = (0.0, 1.0) if fast else DEFAULT_INTENSITIES
     duration = 800_000.0 if fast else 1_200_000.0
     text = report(run_experiment(intensities=intensities,
                                  duration_usec=duration,
-                                 runner=runner))
+                                 runner=runner, shards=shards))
     print(text)
     return text
 

@@ -119,12 +119,24 @@ class TopologySpec:
     Host nodes are implicit: every link endpoint that is not a switch
     name is a host attachment point.  ``name`` identifies the topology
     in cache keys, sweep logs and reports.
+
+    ``congestion_knee_pps`` reproduces the flat LAN's stochastic
+    degradation artifact (see :class:`repro.net.link.Network`): above
+    the knee, frames are dropped at their source access link with a
+    probability ramping by ``congestion_slope`` per excess pkt/sec.
+    The rate estimate (an EWMA over injection gaps) lives in each
+    shard's :class:`Topology` instance, so under the PDES contract the
+    knee is partition-invariant only while every sender shares one
+    shard — exactly the figure-3 shape (a lone client blasting a
+    sink), which is what this models.
     """
 
     name: str
     links: Tuple[LinkSpec, ...]
     switches: Tuple[SwitchSpec, ...] = ()
     bindings: Tuple[BindingSpec, ...] = ()
+    congestion_knee_pps: Optional[float] = None
+    congestion_slope: float = 4e-6
 
     def host_nodes(self) -> Tuple[str, ...]:
         switch_names = {s.name for s in self.switches}
@@ -148,11 +160,14 @@ class TopologySpec:
 # ----------------------------------------------------------------------
 def passthrough_spec(server_addr: str = "10.0.0.1",
                      client_addr: str = "10.0.0.2",
+                     congestion_knee_pps: Optional[float] = None,
                      **link_kwargs) -> TopologySpec:
     """Single-host passthrough: client — switch — server.
 
     The minimal switched world; semantically the flat LAN with one
-    explicit store-and-forward hop.
+    explicit store-and-forward hop.  ``congestion_knee_pps`` carries
+    the flat LAN's stochastic wire-loss knee over (figure 3's offered
+    rates exceed it).
     """
     return TopologySpec(
         name="passthrough",
@@ -160,7 +175,8 @@ def passthrough_spec(server_addr: str = "10.0.0.1",
         links=(LinkSpec("client", "sw0", **link_kwargs),
                LinkSpec("sw0", "server", **link_kwargs)),
         bindings=(BindingSpec(server_addr, "server"),
-                  BindingSpec(client_addr, "client")))
+                  BindingSpec(client_addr, "client")),
+        congestion_knee_pps=congestion_knee_pps)
 
 
 def gateway_chain_spec(client_addr: str = "10.0.0.2",
@@ -542,13 +558,28 @@ class Topology:
         self.routes: Dict[str, Dict[str, str]] = {}
         self.build_routes()
 
+        # Stochastic congestion knee (mirrors the flat LAN's
+        # Network.maybe_congestion_drop): an EWMA over injection
+        # inter-arrival gaps estimates the offered rate; above the
+        # knee, frames drop at the source access link with probability
+        # ramping by ``congestion_slope`` per excess pkt/sec.  The RNG
+        # stream only exists when the knee is configured, so specs
+        # without one draw nothing (golden-trace compatible).
+        self._congestion_knee = spec.congestion_knee_pps
+        self._congestion_slope = spec.congestion_slope
+        self._cong_last_arrival = 0.0
+        self._cong_ewma: Optional[float] = None
+        self._congestion_rng = (sim.named_rng("net.congestion")
+                                if self._congestion_knee is not None
+                                else None)
+
         # Network-compatible counters (totals across every hop).
         self.frames_sent = 0
         self.frames_delivered = 0
         self.drops_no_route = 0
         self.drops_port_queue = 0
         self.drops_red = 0
-        self.drops_congestion = 0  # flat-LAN compat; always 0 here
+        self.drops_congestion = 0
         self.drops_fault = 0
         self.dup_frames = 0
         self._in_flight = 0
@@ -610,6 +641,10 @@ class Topology:
             self.drops_no_route += 1
             return False
 
+        if self._maybe_congestion_drop():
+            self.drops_congestion += 1
+            return False
+
         if self.fault_plane is not None:
             drop, extra_delay, dup_frame = \
                 self.fault_plane.link_disposition(frame)
@@ -637,6 +672,28 @@ class Topology:
 
         self._in_flight += 1
         return self._inject(src_node, frame, dst_key, dst_node)
+
+    def _maybe_congestion_drop(self) -> bool:
+        """Stochastic drop above the configured congestion knee —
+        the exact EWMA estimator of the flat LAN (see
+        :meth:`repro.net.link.Network.maybe_congestion_drop`)."""
+        if self._congestion_knee is None:
+            return False
+        now = self.sim.now
+        gap = now - self._cong_last_arrival
+        self._cong_last_arrival = now
+        if self._cong_ewma is None:
+            self._cong_ewma = gap if gap > 0 else 1.0
+            return False
+        alpha = 0.05
+        self._cong_ewma = ((1 - alpha) * self._cong_ewma
+                           + alpha * max(gap, 1e-6))
+        rate_pps = 1e6 / self._cong_ewma
+        if rate_pps <= self._congestion_knee:
+            return False
+        excess = rate_pps - self._congestion_knee
+        p_drop = min(0.2, self._congestion_slope * excess)
+        return self._congestion_rng.random() < p_drop
 
     # ------------------------------------------------------------------
     # Hop-by-hop machinery
@@ -769,7 +826,8 @@ class Topology:
         # Per-link ``drops_fault`` counters are a breakdown of the
         # topology-level ``drops_fault`` total, not an addition to it.
         return (self.drops_no_route + self.drops_port_queue
-                + self.drops_red + self.drops_fault)
+                + self.drops_red + self.drops_congestion
+                + self.drops_fault)
 
     def in_flight(self) -> int:
         """Frames injected but not yet delivered or dropped."""
@@ -788,6 +846,7 @@ class Topology:
             "drops_no_route": self.drops_no_route,
             "drops_port_queue": self.drops_port_queue,
             "drops_red": self.drops_red,
+            "drops_congestion": self.drops_congestion,
             "drops_fault": self.drops_fault,
             "in_flight": self._in_flight,
             "exported": self.frames_exported,

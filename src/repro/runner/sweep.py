@@ -461,6 +461,8 @@ class SweepRunner:
                    resumed: bool = False) -> None:
         events = (result.get("events")
                   if isinstance(result, dict) else None)
+        sync = (result.get("sync")
+                if isinstance(result, dict) else None)
         self.wallclock.record(point_label, wall_sec, cached=cached,
                               events=events)
         self.points_log.append({
@@ -473,6 +475,10 @@ class SweepRunner:
             "cached": cached,
             "resumed": resumed,
             "wall_clock_sec": round(wall_sec, 6),
+            # Conservative-sync counters, lifted out of the result so
+            # results-JSON consumers can aggregate rounds/grants/frames
+            # across a sweep without knowing each experiment's schema.
+            "sync": sync,
             "result": result,
             "_seq": seq,
         })

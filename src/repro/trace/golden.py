@@ -244,16 +244,18 @@ def _run_cluster(key: str, tracer: Tracer) -> Tracer:
 
 def run_cluster_sharded(key: str, shards: int = 1,
                         mode: str = "auto",
-                        duration: float = GOLDEN_DURATION):
+                        duration: float = GOLDEN_DURATION,
+                        batch: bool = True):
     """Run a cluster golden workload through the sharded engine with
     tracing; returns the :class:`~repro.engine.sharded.ShardedRun`.
     The parity tests and the CI ``pdes-parity`` job compare its
-    digests against the committed goldens."""
+    digests against the committed goldens — *batch* toggles batched
+    channel flushes so both transport framings face the same check."""
     from repro.engine.sharded import ShardedEngine
 
     spec, components, prepare = cluster_world(key)
     engine = ShardedEngine(spec, components, shards=shards, mode=mode,
-                           prepare=prepare, trace=True)
+                           prepare=prepare, trace=True, batch=batch)
     return engine.run(duration, seed=GOLDEN_SEED)
 
 

@@ -73,15 +73,27 @@ def test_cross_shard_ledger_balances():
 
 
 class TestExperimentInvariance:
-    """Experiment points report identical dicts at any shard count."""
+    """Experiment points report identical dicts at any shard count.
+
+    The ``sync`` entry (round/grant/channel counters) legitimately
+    depends on the shard count, so it is compared for presence and
+    then excluded from the equality check.
+    """
 
     KW = dict(duration_usec=120_000.0, warmup_usec=30_000.0)
+
+    @staticmethod
+    def _strip_sync(point):
+        assert "sync" in point
+        point = dict(point)
+        point.pop("sync")
+        return point
 
     def test_incast_point(self):
         one = run_incast_point(Architecture.SOFT_LRP, 2, **self.KW)
         two = run_incast_point(Architecture.SOFT_LRP, 2, shards=2,
                                shard_mode="inline", **self.KW)
-        assert one == two
+        assert self._strip_sync(one) == self._strip_sync(two)
 
     def test_chain_point(self):
         one = run_chain_point(Architecture.SOFT_LRP, 6_000.0,
@@ -89,4 +101,4 @@ class TestExperimentInvariance:
         two = run_chain_point(Architecture.SOFT_LRP, 6_000.0,
                               shards=2, shard_mode="inline",
                               **self.KW)
-        assert one == two
+        assert self._strip_sync(one) == self._strip_sync(two)
