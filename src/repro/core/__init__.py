@@ -10,6 +10,7 @@ from repro.core.app_thread import AppProcessor
 from repro.core.architecture import (
     Architecture,
     Host,
+    MODERN_ARCHES,
     STACK_CLASSES,
     build_host,
 )
@@ -23,7 +24,10 @@ from repro.core.forwarding import (
 )
 from repro.core.lrp_base import LrpStackBase
 from repro.core.ni_lrp import NiLrpStack
+from repro.core.nic_os import NicOsStack
+from repro.core.polling_stack import PollingStack
 from repro.core.proxy import ProtocolDaemon
+from repro.core.rss_stack import RssStack
 from repro.core.soft_lrp import SoftLrpStack
 from repro.core.stack_base import NetworkStack
 
@@ -37,9 +41,13 @@ __all__ = [
     "ForwardingDaemon",
     "Host",
     "LrpStackBase",
+    "MODERN_ARCHES",
     "NetworkStack",
     "NiLrpStack",
+    "NicOsStack",
+    "PollingStack",
     "ProtocolDaemon",
+    "RssStack",
     "STACK_CLASSES",
     "SoftLrpStack",
     "build_gateway",

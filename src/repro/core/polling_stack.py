@@ -1,0 +1,101 @@
+"""Kernel-bypass polling: a DPDK-style busy-poll stack.
+
+One core of the host is dedicated to a pinned, fixed-priority poll
+thread that spins on the :class:`~repro.nic.polling.PollingNic` ring:
+burst-dequeue, then run IP/transport input inline *in process context*
+for every frame.  There are no interrupts anywhere on the host — the
+NIC never raises one and the clock tick is disabled (`build_host`
+constructs polling hosts with ``enable_ticks=False``) — so the
+architecture's defining trace property is the total absence of
+``interrupt_raised``/``interrupt_dispatched`` events.
+
+Relative to the paper's trio this resolves receive livelock the blunt
+way: receive processing cannot preempt applications because it owns
+its own core outright.  What it gives up is LRP's accounting story —
+the poll core's time is burned whether or not anyone wants the
+packets, and protocol work is charged to the poll thread, not to the
+receiving application (see docs/ARCHITECTURES.md).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator
+
+from repro.engine.process import Compute
+from repro.host.interrupts import IntrTask
+from repro.net.packet import Frame
+from repro.nic.polling import PollingNic
+from repro.core.bsd_stack import BsdStack
+from repro.sockets.socket import Socket
+
+#: Frames dequeued per poll round (DPDK's canonical rx burst).
+POLL_BURST = 32
+#: Compute charged per empty poll round: the busy-wait granularity.
+#: Small enough that post-burst latency is negligible at the paper's
+#: rates, large enough that an idle second is ~200k events, not 1M.
+POLL_IDLE_USEC = 5.0
+#: The poll thread's pinned priority.  It never blocks, so on its
+#: dedicated core the value only has to beat the idle default.
+POLL_PRIORITY = 0.0
+
+
+class PollingStack(BsdStack):
+    """User-level stack driven by a dedicated busy-poll core."""
+
+    arch_name = "Polling"
+
+    def __init__(self, *args, poll_core: int = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        if not isinstance(self.nic, PollingNic):
+            raise TypeError("the polling stack requires a PollingNic")
+        ncores = self.kernel.ncores
+        if ncores < 2:
+            raise ValueError(
+                "the polling architecture dedicates one core to "
+                "busy-polling; build the host with cores >= 2")
+        self.poll_core = ncores - 1 if poll_core is None else poll_core
+        if not 0 < self.poll_core < ncores:
+            raise ValueError(f"poll core {self.poll_core} must be a "
+                             f"non-boot core of a {ncores}-core host")
+        #: TCP work (timers, output) deferred to the poll loop; the
+        #: kernel-bypass stack has no software interrupts to run it in.
+        self._tcp_work: deque = deque()
+        self.poll_thread = self.kernel.spawn(
+            "busy-poll", self._poll_main(), core=self.poll_core,
+            working_set_kb=16.0)
+        self.poll_thread.fixed_priority = True
+        self.poll_thread.usrpri = POLL_PRIORITY
+
+    # ------------------------------------------------------------------
+    def rx_interrupt(self, frame: Frame, ring_release) -> IntrTask:
+        raise AssertionError(
+            "kernel-bypass polling has no receive interrupt path")
+
+    def post_tcp_work(self, sock: Socket, kind: str) -> None:
+        # No software interrupts: queue for the poll loop, which runs
+        # within POLL_IDLE_USEC even when the ring is empty.
+        self._tcp_work.append((sock, kind))
+
+    # ------------------------------------------------------------------
+    def _poll_main(self) -> Generator:
+        nic = self.nic
+        costs = self.costs
+        tcp_work = self._tcp_work
+        while True:
+            burst = nic.poll_burst(POLL_BURST)
+            for frame in burst:
+                yield Compute(costs.dequeue)
+                self.stats.incr("rx_packets")
+                # Protocol input runs inline in the poll thread's
+                # process context — preemptible in principle, but
+                # nothing else is pinned to this core.
+                yield from self._ip_input_eager(frame.packet)
+            while tcp_work:
+                sock, kind = tcp_work.popleft()
+                yield Compute(costs.dequeue)
+                yield from self.tcp_timer_gen(sock, kind)
+            if not burst:
+                # Busy-wait: the whole point.  The core shows 100%
+                # utilization whether or not traffic arrives.
+                yield Compute(POLL_IDLE_USEC)

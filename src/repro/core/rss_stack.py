@@ -1,0 +1,101 @@
+"""RSS: the eager BSD stack on a multi-core host with a multi-queue NIC.
+
+What changes relative to 4.4BSD is *where* receive work runs, not
+*when*: the multi-queue NIC's Toeplitz hash steers each flow to one
+core, whose hardware interrupt enqueues on a per-core IP queue and
+whose software interrupt drains it — so under overload, one flow's
+livelock consumes only the cores its packets hash to.  Everything is
+still eager: protocol processing happens at arrival time, at interrupt
+priority, charged to whatever was running on the interrupted core.
+RSS buys isolation by *spatial* separation where LRP buys it by
+*deferring* work to the receiver's schedulable context — the contrast
+the six-architecture sweep in EXPERIMENTS.md quantifies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator
+
+from repro.engine.process import Compute
+from repro.host.interrupts import HARDWARE, SOFTWARE, IntrTask, SimpleIntrTask
+from repro.net.packet import Frame
+from repro.core.bsd_stack import BsdStack
+from repro.trace.tracer import flow_of
+
+
+class RssStack(BsdStack):
+    """Per-core eager receive: one IP queue and softnet per core."""
+
+    arch_name = "RSS"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        ncores = self.kernel.ncores
+        self.ipqs = [deque() for _ in range(ncores)]
+        self._softnet_on = [False] * ncores
+        # The shared self.ipq is unused; keep drops accounted under
+        # the same stat keys so collectors need no special casing.
+
+    # ------------------------------------------------------------------
+    def rx_interrupt(self, frame: Frame, ring_release) -> IntrTask:
+        raise AssertionError(
+            "RSS receives through the multi-queue NIC's per-core "
+            "vectors (rx_interrupt_on), not the single-queue path")
+
+    def rx_interrupt_on(self, core: int, frame: Frame,
+                        ring_release) -> IntrTask:
+        cpu = self.kernel.cpus[core]
+        charge = self.kernel.accounting.interrupt_charger(cpu)
+        ipq = self.ipqs[core]
+
+        def action() -> None:
+            ring_release()
+            self.stats.incr("rx_packets")
+            trace = self.sim.trace
+            chain = self.mbufs.try_allocate(frame.packet.total_len,
+                                            frame.packet)
+            if chain is None:
+                self.stats.incr("drop_mbufs")
+                if trace.enabled:
+                    trace.pkt_drop("mbufs", flow_of(frame.packet),
+                                   reason="pool_exhausted")
+                return
+            if len(ipq) >= self.ipq_maxlen:
+                # Per-core IP queue: an overload flow can only push
+                # out packets that hashed to *its* core.
+                self.stats.incr("drop_ipq")
+                if trace.enabled:
+                    trace.pkt_drop("ipq", flow_of(frame.packet),
+                                   reason="ipq_full")
+                chain.free()
+                return
+            if trace.enabled:
+                trace.pkt_enqueue("ipq", flow_of(frame.packet))
+            frame.packet._mbuf_chain = chain
+            ipq.append(frame.packet)
+            if not self._softnet_on[core]:
+                self._softnet_on[core] = True
+                self.kernel.intr.post(
+                    IntrTask(self._softnet_core(core), SOFTWARE,
+                             "softnet", charge),
+                    core=core)
+
+        return SimpleIntrTask(self.costs.hw_intr + self.costs.mbuf_alloc,
+                              HARDWARE, "nic-rx", action=action,
+                              charge=charge)
+
+    def _softnet_core(self, core: int) -> Generator:
+        """Per-core ipintr drain loop."""
+        ipq = self.ipqs[core]
+        while ipq:
+            packet = ipq.popleft()
+            yield from self._softnet_step(packet)
+        self._softnet_on[core] = False
+
+    def _softnet_step(self, packet) -> Generator:
+        yield Compute(self.costs.sw_intr_dispatch)
+        yield from self._ip_input_eager(packet)
+        chain = getattr(packet, "_mbuf_chain", None)
+        if chain is not None:
+            chain.free()

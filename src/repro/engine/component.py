@@ -260,7 +260,7 @@ class ShardWorld:
         """Freeze per-host CPU accounting (idle time, utilization) at
         the current clock; called once after the run completes."""
         for host in self.hosts:
-            host.kernel.cpu.finalize_stats()
+            host.kernel.finalize_stats()
 
 
 def instantiate(world: ShardWorld,

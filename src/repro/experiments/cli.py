@@ -132,6 +132,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "experiments built on the component "
                              "engine honor it, others note the "
                              "fallback and run sequentially")
+    parser.add_argument("--cores", metavar="N", type=int, default=1,
+                        help="size each server host's CpuSet at N "
+                             "cores; N >= 2 widens figure3/degradation "
+                             "to the six-architecture comparison (RSS, "
+                             "polling, NIC-OS; see "
+                             "docs/ARCHITECTURES.md); experiments "
+                             "without multi-core support note the "
+                             "fallback and run single-core")
     parser.add_argument("--supervise", action="store_true",
                         help="run sharded scenarios under the "
                              "supervision layer (worker failure "
@@ -208,6 +216,12 @@ def main(argv=None) -> int:
                 else:
                     print(f"note: {name} does not support --shards; "
                           "running sequentially", file=sys.stderr)
+            if args.cores > 1:
+                if "cores" in accepts:
+                    kwargs["cores"] = args.cores
+                else:
+                    print(f"note: {name} does not support --cores; "
+                          "running single-core", file=sys.stderr)
             if args.supervise:
                 if "supervise" in accepts:
                     kwargs["supervise"] = True
@@ -255,6 +269,7 @@ def _write_results(args, names, runner: SweepRunner, experiment_log,
             "retries": args.retries,
             "trace": args.trace is not None,
             "shards": args.shards,
+            "cores": args.cores,
             "supervise": args.supervise,
             "resume": args.resume,
         },

@@ -110,7 +110,7 @@ class Testbed:
     def run(self, until_usec: float) -> None:
         self.sim.run_until(until_usec)
         for host in self.hosts:
-            host.kernel.cpu.finalize_stats()
+            host.kernel.finalize_stats()
 
 
 def count_in_window(stamps: Iterable[float], start: float,

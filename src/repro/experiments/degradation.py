@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core import Architecture
+from repro.core import MODERN_ARCHES, Architecture
 from repro.engine.component import HostComponent, SourceComponent
 from repro.engine.process import Sleep, Syscall
 from repro.engine.sharded import ShardedEngine
@@ -170,13 +170,15 @@ def _attach_edge_plane(world, node: str, intensity: float,
     return plane
 
 
-def _deg_server_build(world, arch, intensity, duration_usec, seed, **_):
+def _deg_server_build(world, arch, intensity, duration_usec, seed,
+                      cores=1, **_):
     plane = None
     plan = host_fault_plan(intensity, duration_usec, seed)
     if plan is not None:
         plane = FaultPlane(world.sim, plan)
     host = world.add_host(SERVER_ADDR, Architecture(arch),
-                          name="server", fault_plane=plane)
+                          name="server", fault_plane=plane,
+                          cores=cores)
     recorder = LatencyRecorder()
     sim = world.sim
 
@@ -222,6 +224,7 @@ def _deg_server_collect(world, state, duration_usec, warmup_usec, **_):
             stack.iter_channels()),
         "mbuf_exhaustions": stack.mbufs.exhaustions,
         "drop_corrupt": stack.stats.get("drop_corrupt"),
+        "core_usage": host.kernel.core_usage(world.sim.now),
     }
 
 
@@ -257,7 +260,8 @@ def _deg_sender_collect(world, state, **_):
 
 def degradation_components(arch: Architecture, intensity: float,
                            duration_usec: float, warmup_usec: float,
-                           seed: int, blast_pps: float) -> List:
+                           seed: int, blast_pps: float,
+                           cores: int = 1) -> List:
     """The degradation point as a component declaration over
     :func:`degradation_spec` node names."""
     common = {"intensity": intensity, "duration_usec": duration_usec,
@@ -266,7 +270,8 @@ def degradation_components(arch: Architecture, intensity: float,
         HostComponent("server", "server", build=_deg_server_build,
                       collect=_deg_server_collect,
                       kwargs={**common, "arch": arch.value,
-                              "warmup_usec": warmup_usec},
+                              "warmup_usec": warmup_usec,
+                              "cores": cores},
                       min_delay_usec=SERVER_THINK_USEC),
         SourceComponent("victim", "victim", build=_deg_victim_build,
                         collect=_deg_sender_collect, kwargs=common),
@@ -281,7 +286,8 @@ def run_point(arch: Architecture, intensity: float,
               warmup_usec: float = 200_000.0,
               seed: int = 7,
               shards: int = 1,
-              shard_mode: str = "auto") -> Dict:
+              shard_mode: str = "auto",
+              cores: int = 1) -> Dict:
     """One degradation point: victim flow vs. blaster under the
     canonical fault plan at *intensity*.
 
@@ -295,7 +301,8 @@ def run_point(arch: Architecture, intensity: float,
     blast_pps = BLAST_BASE_PPS + intensity * BLAST_EXTRA_PPS
     spec = degradation_spec()
     comps = degradation_components(arch, intensity, duration_usec,
-                                   warmup_usec, seed, blast_pps)
+                                   warmup_usec, seed, blast_pps,
+                                   cores=cores)
     engine = ShardedEngine(spec, comps, shards=shards,
                            mode=shard_mode)
     run = engine.run(duration_usec, seed=seed)
@@ -322,6 +329,8 @@ def run_point(arch: Architecture, intensity: float,
         "channel_discards": server["channel_discards"],
         "mbuf_exhaustions": server["mbuf_exhaustions"],
         "drop_corrupt": server["drop_corrupt"],
+        "cores": cores,
+        "core_usage": server["core_usage"],
         # Conservative-sync counters (rounds, grants, channel frames);
         # deterministic for a given (point, shard count).
         "sync": run.sync,
@@ -363,12 +372,14 @@ def _tcp_sender(dst_addr, port: int, nbytes: int, chunk: int,
 
 
 def run_tcp_point(arch: Architecture, intensity: float,
-                  nbytes: int = 64_000, seed: int = 3) -> Dict:
+                  nbytes: int = 64_000, seed: int = 3,
+                  cores: int = 1) -> Dict:
     """A checksummed TCP transfer through a lossy, corrupting window.
 
     Loss forces retransmission and RTO backoff; corruption is caught
     by checksum verification and recovers the same way.  The point of
-    the point: *every* architecture delivers the full byte stream.
+    the point: *every* architecture delivers the full byte stream —
+    including the modern stacks when run with *cores* >= 2.
     """
     arch = Architecture(arch)
     port = 8200
@@ -385,8 +396,8 @@ def run_tcp_point(arch: Architecture, intensity: float,
         )
     plan = FaultPlan(seed=seed, rules=rules)
     bed = Testbed(seed=seed, fault_plan=plan)
-    server = bed.add_host(SERVER_ADDR, arch)
-    client = bed.add_host(CLIENT_A_ADDR, arch)
+    server = bed.add_host(SERVER_ADDR, arch, cores=cores)
+    client = bed.add_host(CLIENT_A_ADDR, arch, cores=cores)
 
     received: List[int] = []
     socks: List = []
@@ -428,20 +439,22 @@ def run_experiment(
         duration_usec: float = 1_200_000.0,
         tcp_intensities: Sequence[float] = (1.0,),
         runner: Optional[SweepRunner] = None,
-        shards: int = 1) -> Dict:
+        shards: int = 1,
+        cores: int = 1) -> Dict:
     runner = runner or SweepRunner()
     grid = [(arch, i) for arch in systems for i in intensities]
     points = runner.map(
         run_point,
         [dict(arch=arch, intensity=i, duration_usec=duration_usec,
-              shards=shards)
+              shards=shards, cores=cores)
          for arch, i in grid],
         label="degradation")
 
     tcp_grid = [(arch, i) for arch in systems for i in tcp_intensities]
     tcp_points = runner.map(
         run_tcp_point,
-        [dict(arch=arch, intensity=i) for arch, i in tcp_grid],
+        [dict(arch=arch, intensity=i, cores=cores)
+         for arch, i in tcp_grid],
         label="degradation-tcp")
 
     goodput: Dict[str, List[Tuple[float, float]]] = {}
@@ -494,12 +507,19 @@ def report(result: Dict) -> str:
 
 def main(fast: bool = False,
          runner: Optional[SweepRunner] = None,
-         shards: int = 1) -> str:
+         shards: int = 1,
+         cores: int = 1) -> str:
     intensities = (0.0, 1.0) if fast else DEFAULT_INTENSITIES
     duration = 800_000.0 if fast else 1_200_000.0
+    # cores >= 2 widens the comparison to the six-architecture family
+    # (docs/ARCHITECTURES.md), TCP-delivery sweep included.
+    systems = (MAIN_SYSTEMS + MODERN_ARCHES) if cores > 1 \
+        else MAIN_SYSTEMS
     text = report(run_experiment(intensities=intensities,
+                                 systems=systems,
                                  duration_usec=duration,
-                                 runner=runner, shards=shards))
+                                 runner=runner, shards=shards,
+                                 cores=cores))
     print(text)
     return text
 

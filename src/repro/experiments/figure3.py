@@ -35,7 +35,7 @@ from repro.engine.component import (
 from repro.engine.process import Syscall
 from repro.engine.sharded import ShardedEngine
 from repro.engine.simulator import Simulator
-from repro.core import Architecture
+from repro.core import MODERN_ARCHES, Architecture
 from repro.net.topology import TopologySpec, passthrough_spec
 from repro.runner import SweepRunner
 from repro.stats.report import format_series, format_table
@@ -46,6 +46,10 @@ DEFAULT_RATES = (1000, 2000, 4000, 6000, 8000, 9000, 10000, 11000,
                  12000, 14000, 16000, 18000, 20000, 22000, 24000)
 SYSTEMS = (Architecture.BSD, Architecture.NI_LRP,
            Architecture.SOFT_LRP, Architecture.EARLY_DEMUX)
+#: The six-architecture comparison (docs/ARCHITECTURES.md): the
+#: paper's four plus the modern multi-core stacks.  Needs ``cores >=
+#: 2`` (polling dedicates a core to its busy-poll thread).
+ALL_SYSTEMS = SYSTEMS + MODERN_ARCHES
 
 BLAST_PORT = 9000
 
@@ -74,9 +78,9 @@ def figure3_spec(congestion: bool = True) -> TopologySpec:
 # Component hooks (module-level: picklable by reference when a point
 # runs sharded; see docs/PDES.md)
 # ----------------------------------------------------------------------
-def _server_build(world, arch, **_):
+def _server_build(world, arch, cores=1, **_):
     host = world.add_host(SERVER_ADDR, Architecture(arch),
-                          name="server")
+                          name="server", cores=cores)
     stamps: List[float] = []
     sim = world.sim
 
@@ -107,38 +111,57 @@ def _server_collect(world, state, warmup_usec, **_):
         "drop_mbufs": stats.get("drop_mbufs"),
         "drop_nic_fifo": getattr(host.nic, "rx_drops_fifo", 0),
         "cpu_idle": host.kernel.cpu.idle_time,
+        "core_usage": host.kernel.core_usage(world.sim.now),
     }
 
 
-def _client_build(world, rate_pps, payload_bytes, **_):
-    injector = RawUdpInjector(world.sim, world.fabric, CLIENT_A_ADDR,
-                              SERVER_ADDR, BLAST_PORT,
-                              payload_bytes=payload_bytes)
-    # Let the server bind before the flood begins (on the real testbed
-    # the server program is long since running when the blast starts).
-    world.sim.schedule(50_000.0, injector.start, rate_pps)
-    return injector
+def _client_build(world, rate_pps, payload_bytes, flows=1, **_):
+    # *flows* splits the offered load across distinct UDP source ports
+    # at rate_pps/flows each, phase-staggered so the aggregate arrival
+    # process stays uniform at rate_pps.  One flow is the paper's
+    # workload; multiple flows give an RSS NIC distinct 4-tuples to
+    # steer across its queues.
+    injectors = []
+    port = None
+    for i in range(flows):
+        injector = RawUdpInjector(world.sim, world.fabric,
+                                  CLIENT_A_ADDR, SERVER_ADDR,
+                                  BLAST_PORT,
+                                  payload_bytes=payload_bytes,
+                                  src_port=20000 + i, port=port)
+        port = injector.port
+        # Let the server bind before the flood begins (on the real
+        # testbed the server program is long since running when the
+        # blast starts).
+        world.sim.schedule(50_000.0 + i * (1e6 / rate_pps),
+                           injector.start, rate_pps / flows)
+        injectors.append(injector)
+    return injectors
 
 
-def _client_collect(world, injector, **_):
-    return injector.sent
+def _client_collect(world, injectors, **_):
+    return sum(injector.sent for injector in injectors)
 
 
 def figure3_components(arch: Architecture, rate_pps: float,
                        warmup_usec: float,
-                       payload_bytes: int = 14) -> List:
+                       payload_bytes: int = 14,
+                       cores: int = 1,
+                       flows: int = 1) -> List:
     """The figure-3 point as a component declaration (node names
     follow :func:`repro.net.topology.passthrough_spec`)."""
     return [
         HostComponent("server", "server", build=_server_build,
                       collect=_server_collect,
                       kwargs={"arch": arch.value,
-                              "warmup_usec": warmup_usec},
+                              "warmup_usec": warmup_usec,
+                              "cores": cores},
                       min_delay_usec=SERVER_THINK_USEC),
         SourceComponent("client", "client", build=_client_build,
                         collect=_client_collect,
                         kwargs={"rate_pps": rate_pps,
-                                "payload_bytes": payload_bytes}),
+                                "payload_bytes": payload_bytes,
+                                "flows": flows}),
     ]
 
 
@@ -150,7 +173,9 @@ def run_point(arch: Architecture, rate_pps: float,
               congestion: bool = True,
               probe=None,
               shards: int = 1,
-              shard_mode: str = "auto") -> Dict[str, float]:
+              shard_mode: str = "auto",
+              cores: int = 1,
+              flows: int = 1) -> Dict[str, float]:
     """One (system, offered rate) measurement.
 
     *probe* is an optional
@@ -161,11 +186,17 @@ def run_point(arch: Architecture, rate_pps: float,
     identical event sequence.  *shards* > 1 runs the same components
     under the conservative-time sharded engine; every reported number
     is invariant to the shard count.
+
+    *cores* sizes the server's CpuSet (the polling architecture needs
+    at least 2) and *flows* splits the blast across that many source
+    ports — unlike shards, both change the measured system, and both
+    are bound into the sweep cache key.
     """
     arch = Architecture(arch)
     spec = figure3_spec(congestion=congestion)
     comps = figure3_components(arch, rate_pps, warmup_usec,
-                               payload_bytes=payload_bytes)
+                               payload_bytes=payload_bytes,
+                               cores=cores, flows=flows)
     end = warmup_usec + window_usec
 
     if probe is not None:
@@ -212,6 +243,8 @@ def run_point(arch: Architecture, rate_pps: float,
         "drop_nic_fifo": server["drop_nic_fifo"],
         "drop_wire": drop_wire,
         "cpu_idle": server["cpu_idle"],
+        "cores": cores,
+        "core_usage": server["core_usage"],
         # Engine events processed: deterministic for a given point, so
         # it survives caching/parity, and lets the sweep runner and the
         # bench harness report events/sec against wall-clock.
@@ -251,13 +284,15 @@ def run_experiment(rates: Sequence[float] = DEFAULT_RATES,
                    window_usec: float = 1_000_000.0,
                    compute_mlfrr: bool = True,
                    runner: Optional[SweepRunner] = None,
-                   shards: int = 1) -> Dict:
+                   shards: int = 1,
+                   cores: int = 1,
+                   flows: int = 1) -> Dict:
     """The full Figure 3 sweep; returns series plus MLFRR table."""
     runner = runner or SweepRunner()
     points = runner.map(
         run_point,
         [dict(arch=arch, rate_pps=rate, window_usec=window_usec,
-              shards=shards)
+              shards=shards, cores=cores, flows=flows)
          for arch in systems for rate in rates],
         label="figure3")
     series: Dict[str, List[Tuple[float, float]]] = {}
@@ -271,7 +306,8 @@ def run_experiment(rates: Sequence[float] = DEFAULT_RATES,
     if compute_mlfrr:
         result["mlfrr"] = {
             arch.value: mlfrr(arch, window_usec=window_usec,
-                              runner=runner, shards=shards)
+                              runner=runner, shards=shards,
+                              cores=cores, flows=flows)
             for arch in (Architecture.BSD, Architecture.SOFT_LRP)}
     return result
 
@@ -304,12 +340,20 @@ def report(result: Dict) -> str:
 
 def main(fast: bool = False,
          runner: Optional[SweepRunner] = None,
-         shards: int = 1) -> str:
+         shards: int = 1,
+         cores: int = 1) -> str:
     rates = DEFAULT_RATES[1::2] if fast else DEFAULT_RATES
     window = 400_000.0 if fast else 1_000_000.0
+    # cores >= 2 unlocks the six-architecture comparison: the modern
+    # stacks join the sweep and the blast splits into one flow per
+    # core so RSS has distinct 4-tuples to steer.
+    systems = ALL_SYSTEMS if cores > 1 else SYSTEMS
+    flows = cores if cores > 1 else 1
     text = report(run_experiment(rates=rates, window_usec=window,
+                                 systems=systems,
                                  compute_mlfrr=not fast,
-                                 runner=runner, shards=shards))
+                                 runner=runner, shards=shards,
+                                 cores=cores, flows=flows))
     print(text)
     return text
 

@@ -1,14 +1,15 @@
 """Simulated host: CPU, interrupts, scheduler, accounting, kernel."""
 
-from repro.host.accounting import Accounting
+from repro.host.accounting import Accounting, core_usage
 from repro.host.cache import CacheModel
 from repro.host.costs import DEFAULT_COSTS, CostModel
-from repro.host.cpu import Cpu
+from repro.host.cpu import Cpu, CpuSet
 from repro.host.interrupts import (
     HARDWARE,
     PROCESS,
     SOFTWARE,
     InterruptContextError,
+    InterruptRouter,
     IntrTask,
     simple_task,
 )
@@ -25,9 +26,11 @@ __all__ = [
     "CacheModel",
     "CostModel",
     "Cpu",
+    "CpuSet",
     "DEFAULT_COSTS",
     "HARDWARE",
     "InterruptContextError",
+    "InterruptRouter",
     "IntrTask",
     "Kernel",
     "KernelPanic",
@@ -37,6 +40,7 @@ __all__ = [
     "Scheduler",
     "SOFTWARE",
     "TICK_USEC",
+    "core_usage",
     "priority_for",
     "simple_task",
 ]

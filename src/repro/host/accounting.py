@@ -101,3 +101,28 @@ class Accounting:
         if receiver is None:
             self._charger_cache[id(cpu)] = charge
         return charge
+
+
+def core_usage(cpus, elapsed_usec: float):
+    """Per-core CPU usage breakdown over an *elapsed_usec* run.
+
+    Returns one dict per core with busy time split by execution class,
+    idle time, and a ``utilization`` fraction of the elapsed window.
+    Call :meth:`Cpu.finalize_stats` (or the kernel's ``finalize_stats``)
+    first so open idle intervals are folded in.
+    """
+    from repro.host.interrupts import HARDWARE, PROCESS, SOFTWARE
+
+    report = []
+    for index, cpu in enumerate(cpus):
+        busy = sum(cpu.time_by_class.values())
+        report.append({
+            "core": index,
+            "hw_intr_usec": cpu.time_by_class[HARDWARE],
+            "sw_intr_usec": cpu.time_by_class[SOFTWARE],
+            "process_usec": cpu.time_by_class[PROCESS],
+            "idle_usec": cpu.idle_time,
+            "utilization": (busy / elapsed_usec
+                            if elapsed_usec > 0 else 0.0),
+        })
+    return report

@@ -322,3 +322,51 @@ class Cpu:
         if self._idle_since is not None:
             self.idle_time += self.sim.now - self._idle_since
             self._idle_since = self.sim.now
+
+
+class CpuSet:
+    """An ordered set of :class:`Cpu` cores sharing one simulator.
+
+    Core 0 is the boot CPU: it takes the clock tick, hosts
+    single-queue NICs' interrupts, and is where processes run unless
+    pinned elsewhere.  Cores are fully independent — each has its own
+    interrupt queues, run-queue source, and statistics — and an idle
+    core schedules no events at all (the dispatch machinery is purely
+    reactive), so a 1-core ``CpuSet`` is byte-identical to a bare
+    :class:`Cpu`.
+    """
+
+    def __init__(self, sim: Simulator, ncores: int = 1,
+                 quantum: float = DEFAULT_QUANTUM):
+        if ncores < 1:
+            raise ValueError(f"a host needs at least one core, "
+                             f"got {ncores}")
+        self.sim = sim
+        self.cores = [Cpu(sim, quantum) for _ in range(ncores)]
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def __getitem__(self, index: int) -> Cpu:
+        return self.cores[index]
+
+    def __iter__(self):
+        return iter(self.cores)
+
+    @property
+    def boot(self) -> Cpu:
+        return self.cores[0]
+
+    def finalize_stats(self) -> None:
+        for cpu in self.cores:
+            cpu.finalize_stats()
+
+    def total_time_by_class(self) -> dict:
+        total = {HARDWARE: 0.0, SOFTWARE: 0.0, PROCESS: 0.0}
+        for cpu in self.cores:
+            for klass, usec in cpu.time_by_class.items():
+                total[klass] += usec
+        return total
+
+    def total_idle_time(self) -> float:
+        return sum(cpu.idle_time for cpu in self.cores)

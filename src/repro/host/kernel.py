@@ -1,9 +1,12 @@
 """The kernel facade: processes, syscalls, ticks, blocking and wakeup.
 
-A :class:`Kernel` owns one CPU, one scheduler, the accounting policy
-and the cache model, and drives simulated processes.  Network stacks
-(``repro.core``) plug in by registering syscall handlers and by posting
-interrupt tasks to ``kernel.cpu``.
+A :class:`Kernel` owns a :class:`~repro.host.cpu.CpuSet` (one or more
+cores, each with its own run queue), the accounting policy and the
+cache model, and drives simulated processes.  ``kernel.cpu`` and
+``kernel.scheduler`` alias core 0, so single-queue network stacks
+(``repro.core``) plug in unchanged by registering syscall handlers and
+posting interrupt tasks to ``kernel.cpu``; multi-queue NICs post to
+``kernel.cpus[n]`` via the per-core interrupt router.
 
 Syscall handlers may be *generator functions*: they are pushed onto the
 calling process's generator stack, so any ``Compute`` they yield is
@@ -34,8 +37,8 @@ from repro.engine.simulator import Simulator
 from repro.host.accounting import Accounting
 from repro.host.cache import CacheModel
 from repro.host.costs import DEFAULT_COSTS, CostModel
-from repro.host.cpu import Cpu
-from repro.host.interrupts import PROCESS
+from repro.host.cpu import CpuSet
+from repro.host.interrupts import PROCESS, InterruptRouter
 from repro.host.scheduler import TICK_USEC, Scheduler
 
 #: schedcpu (estcpu decay) period, in ticks: once per second at HZ=100.
@@ -51,13 +54,15 @@ class ProcContext:
 
     work_class = PROCESS
 
-    __slots__ = ("kernel", "proc", "stint", "switched_in")
+    __slots__ = ("kernel", "proc", "stint", "switched_in", "core")
 
-    def __init__(self, kernel: "Kernel", proc: SimProcess):
+    def __init__(self, kernel: "Kernel", proc: SimProcess,
+                 core: int = 0):
         self.kernel = kernel
         self.proc = proc
         self.stint = 0.0          # CPU used in the current quantum
         self.switched_in = False  # set by the scheduler on a real switch
+        self.core = core          # the core this context is pinned to
 
     # -- CPU context protocol ------------------------------------------
     def begin(self) -> Optional[float]:
@@ -105,17 +110,28 @@ class Kernel:
                  accounting_policy: str = "interrupted",
                  name: str = "host",
                  cache_size_kb: float = 1024.0,
-                 enable_ticks: bool = True):
+                 enable_ticks: bool = True,
+                 ncores: int = 1):
         self.sim = sim
         self.name = name
         self.costs = costs
-        self.cpu = Cpu(sim)
-        self.scheduler = Scheduler()
-        self.scheduler.trace = sim.trace
-        self.cpu.process_source = self.scheduler
+        # N symmetric cores, each with its own run queue.  ``cpu`` and
+        # ``scheduler`` alias core 0 (the boot CPU) so every
+        # single-core caller — stacks, NICs, experiments — is
+        # untouched and the 1-core path stays byte-identical.
+        self.cpuset = CpuSet(sim, ncores)
+        self.cpus = self.cpuset.cores
+        self.cpu = self.cpus[0]
+        self.schedulers = [Scheduler(core=i) for i in range(ncores)]
+        self.scheduler = self.schedulers[0]
+        self.intr = InterruptRouter(self.cpus)
+        for cpu, scheduler in zip(self.cpus, self.schedulers):
+            scheduler.trace = sim.trace
+            cpu.process_source = scheduler
         self.accounting = Accounting(self.scheduler, accounting_policy)
         self.cache = CacheModel(costs, cache_size_kb)
-        self.cpu.pollution_hook = self.cache.on_interrupt_pollution
+        for cpu in self.cpus:
+            cpu.pollution_hook = self.cache.on_interrupt_pollution
         self.syscalls: Dict[str, SyscallHandler] = {}
         self.processes: Dict[int, SimProcess] = {}
         self._contexts: Dict[int, ProcContext] = {}
@@ -135,28 +151,39 @@ class Kernel:
     # Process lifecycle
     # ------------------------------------------------------------------
     def spawn(self, name: str, main: Generator, nice: int = 0,
-              working_set_kb: float = 8.0) -> SimProcess:
-        """Create a process from generator *main* and make it runnable."""
+              working_set_kb: float = 8.0, core: int = 0) -> SimProcess:
+        """Create a process from generator *main* and make it runnable.
+
+        *core* pins the process to one core's run queue for its whole
+        life (the simulated kernel has no migration; per-flow locality
+        is the point of RSS steering).
+        """
+        if not 0 <= core < len(self.cpus):
+            raise ValueError(f"core {core} out of range for "
+                             f"{len(self.cpus)}-core host")
         proc = SimProcess(name, main, nice=nice)
         proc.working_set_kb = working_set_kb
         proc.state = ProcState.RUNNABLE
         self.processes[proc.pid] = proc
-        ctx = ProcContext(self, proc)
+        ctx = ProcContext(self, proc, core=core)
         self._contexts[proc.pid] = ctx
-        self.scheduler.register(proc)
+        scheduler = self.schedulers[core]
+        scheduler.register(proc)
         self.cache.register(proc)
-        self.scheduler.enqueue(ctx)
-        self.cpu.notify_runnable()
+        scheduler.enqueue(ctx)
+        self.cpus[core].notify_runnable()
         return proc
 
     def reap(self, proc: SimProcess, status: int = 0) -> None:
         proc.state = ProcState.ZOMBIE
         proc.exit_status = status
-        self.scheduler.unregister(proc)
-        self.cache.unregister(proc)
         ctx = self._contexts.pop(proc.pid, None)
+        scheduler = (self.schedulers[ctx.core] if ctx is not None
+                     else self.scheduler)
+        scheduler.unregister(proc)
+        self.cache.unregister(proc)
         if ctx is not None:
-            self.scheduler.remove(ctx)
+            scheduler.remove(ctx)
         self.processes.pop(proc.pid, None)
         self.reaped.append(proc)
         for hook in self.reap_hooks:
@@ -256,9 +283,11 @@ class Kernel:
         proc.set_result(value)
         proc.state = ProcState.RUNNABLE
         proc.compute_remaining += self.costs.wakeup
-        self.scheduler.enqueue(self._contexts[proc.pid])
-        self.cpu.preempt_process_for(proc.usrpri)
-        self.cpu.notify_runnable()
+        ctx = self._contexts[proc.pid]
+        self.schedulers[ctx.core].enqueue(ctx)
+        cpu = self.cpus[ctx.core]
+        cpu.preempt_process_for(proc.usrpri)
+        cpu.notify_runnable()
 
     def wake_one(self, channel: WaitChannel, value: Any = None) -> bool:
         """Wake the highest-priority waiter on *channel* (the paper,
@@ -283,9 +312,11 @@ class Kernel:
         if proc.state == ProcState.SLEEPING:
             proc.set_result(None)
             proc.state = ProcState.RUNNABLE
-            self.scheduler.enqueue(self._contexts[proc.pid])
-            self.cpu.preempt_process_for(proc.usrpri)
-            self.cpu.notify_runnable()
+            ctx = self._contexts[proc.pid]
+            self.schedulers[ctx.core].enqueue(ctx)
+            cpu = self.cpus[ctx.core]
+            cpu.preempt_process_for(proc.usrpri)
+            cpu.notify_runnable()
 
     # ------------------------------------------------------------------
     # Clock ticks
@@ -303,11 +334,36 @@ class Kernel:
 
     def _tick_body(self) -> None:
         if self.ticks % DECAY_TICKS == 0:
-            self.scheduler.decay_all()
-        # Tick-granularity preemption: if a runnable process now beats
-        # the one that will resume, let the scheduler re-pick.
-        best = self.scheduler.best_runnable_priority()
-        current = self.cpu.last_process_running
-        if (best is not None and current is not None
-                and current.proc.usrpri > best):
-            self.cpu.force_resched()
+            for scheduler in self.schedulers:
+                scheduler.decay_all()
+        # Tick-granularity preemption, per core: if a runnable process
+        # now beats the one that will resume, let that core's
+        # scheduler re-pick.  The tick interrupt itself fires on core
+        # 0 (the boot CPU) only.
+        for cpu, scheduler in zip(self.cpus, self.schedulers):
+            best = scheduler.best_runnable_priority()
+            current = cpu.last_process_running
+            if (best is not None and current is not None
+                    and current.proc.usrpri > best):
+                cpu.force_resched()
+
+    # ------------------------------------------------------------------
+    # Multi-core introspection
+    # ------------------------------------------------------------------
+    @property
+    def ncores(self) -> int:
+        return len(self.cpus)
+
+    def cpu_for(self, core: int):
+        return self.cpus[core]
+
+    def finalize_stats(self) -> None:
+        """Fold open idle intervals on every core; call before reading
+        CPU statistics at the end of a run."""
+        self.cpuset.finalize_stats()
+
+    def core_usage(self, elapsed_usec: float):
+        """Per-core utilization report (see
+        :func:`repro.host.accounting.core_usage`)."""
+        from repro.host.accounting import core_usage
+        return core_usage(self.cpus, elapsed_usec)

@@ -48,9 +48,15 @@ class Scheduler:
     ``.proc`` attribute).  Selection scans for the numerically lowest
     ``usrpri``; among equals, FIFO order gives round-robin behaviour in
     combination with :meth:`quantum_expired`.
+
+    A multi-core kernel instantiates one scheduler per core (*core* is
+    the owning core's index): run queues are per-core and a context
+    lives on exactly one of them, so work never migrates between cores
+    and can never be executed on two cores at once.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, core: int = 0) -> None:
+        self.core = core
         self._queue: List = []
         self.all_processes: List = []   # every live SimProcess, for decay
         self.context_switches = 0

@@ -4,26 +4,40 @@ from repro.nic.base import BaseNic, IFQ_MAXLEN
 from repro.nic.channels import DEFAULT_CHANNEL_DEPTH, NiChannel
 from repro.nic.demux import (
     DAEMON,
+    DEFAULT_RSS_SEED,
     FRAGMENT,
     MATCHED,
     UNMATCHED,
     DemuxTable,
+    RssHasher,
     flow_key,
+    rss_key,
+    toeplitz_hash,
 )
-from repro.nic.programmable import ProgrammableNic
+from repro.nic.multiqueue import MultiQueueNic
+from repro.nic.polling import PollingNic
+from repro.nic.programmable import AgentNic, ProgrammableNic, TokenBucket
 from repro.nic.simple import SimpleNic
 
 __all__ = [
+    "AgentNic",
     "BaseNic",
     "DAEMON",
     "DEFAULT_CHANNEL_DEPTH",
+    "DEFAULT_RSS_SEED",
     "DemuxTable",
     "FRAGMENT",
     "IFQ_MAXLEN",
     "MATCHED",
+    "MultiQueueNic",
     "NiChannel",
+    "PollingNic",
     "ProgrammableNic",
+    "RssHasher",
     "SimpleNic",
+    "TokenBucket",
     "UNMATCHED",
     "flow_key",
+    "rss_key",
+    "toeplitz_hash",
 ]

@@ -148,3 +148,112 @@ class DemuxTable:
     def clear_fragment_hint(self, src: IPAddr, ident: int) -> None:
         """Called by reassembly once a datagram completes."""
         self._frag_hints.pop((IPAddr(src).value, ident), None)
+
+
+# ----------------------------------------------------------------------
+# Receive-side scaling: the seeded Toeplitz hash
+#
+# Multi-queue NICs spread flows over cores by hashing the flow tuple
+# with the Toeplitz construction (the Microsoft RSS specification):
+# for every set bit of the input, XOR in the 32-bit window of a secret
+# key starting at that bit's offset.  The key here is expanded
+# deterministically from an integer seed, so steering is reproducible
+# under a fixed seed and *redistributes* — without dropping anything —
+# when the seed changes.
+# ----------------------------------------------------------------------
+
+#: Standard RSS secret-key length, bytes (40 covers IPv4 and IPv6
+#: tuple widths).
+RSS_KEY_LEN = 40
+#: Default seed used by hosts that don't choose one.
+DEFAULT_RSS_SEED = 42
+
+_MASK64 = (1 << 64) - 1
+
+
+def rss_key(seed: int) -> bytes:
+    """Expand *seed* into a 40-byte Toeplitz key (splitmix64 stream)."""
+    out = bytearray()
+    state = (seed ^ 0x9E3779B97F4A7C15) & _MASK64
+    while len(out) < RSS_KEY_LEN:
+        state = (state + 0x9E3779B97F4A7C15) & _MASK64
+        z = state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        z ^= z >> 31
+        out += z.to_bytes(8, "big")
+    return bytes(out[:RSS_KEY_LEN])
+
+
+def toeplitz_hash(key: bytes, data: bytes) -> int:
+    """The Toeplitz hash: XOR of the key's sliding 32-bit windows at
+    every set bit of *data*.  Reference implementation; the hot path
+    uses :class:`RssHasher`'s precomputed per-byte tables."""
+    key_bits = int.from_bytes(key, "big")
+    key_len_bits = len(key) * 8
+    result = 0
+    for index, byte in enumerate(data):
+        for bit in range(8):
+            if byte & (0x80 >> bit):
+                shift = key_len_bits - 32 - (index * 8 + bit)
+                result ^= (key_bits >> shift) & 0xFFFFFFFF
+    return result
+
+
+#: Bytes of Toeplitz input: src(4) dst(4) sport(2) dport(2), the
+#: classic IPv4 4-tuple layout.
+_TUPLE_LEN = 12
+
+
+class RssHasher:
+    """Seeded Toeplitz hasher over the flow 4-tuple.
+
+    Hash contributions are precomputed per (byte offset, byte value),
+    so hashing a packet is 12 table lookups and XORs.  Fragments (head
+    or continuation) fall back to the 2-tuple (addresses only), as
+    real RSS NICs do, so every fragment of a datagram lands on the
+    same queue even when later fragments carry no transport header.
+    """
+
+    def __init__(self, seed: int = DEFAULT_RSS_SEED):
+        self.seed = seed
+        self.key = rss_key(seed)
+        self._table = [
+            [toeplitz_hash(self.key,
+                           bytes(offset) + bytes([value])
+                           + bytes(_TUPLE_LEN - offset - 1))
+             for value in range(256)]
+            for offset in range(_TUPLE_LEN)
+        ]
+
+    # -- tuple hashing -------------------------------------------------
+    def hash_tuple(self, src: int, dst: int, sport: int,
+                   dport: int) -> int:
+        table = self._table
+        return (table[0][(src >> 24) & 0xFF]
+                ^ table[1][(src >> 16) & 0xFF]
+                ^ table[2][(src >> 8) & 0xFF]
+                ^ table[3][src & 0xFF]
+                ^ table[4][(dst >> 24) & 0xFF]
+                ^ table[5][(dst >> 16) & 0xFF]
+                ^ table[6][(dst >> 8) & 0xFF]
+                ^ table[7][dst & 0xFF]
+                ^ table[8][(sport >> 8) & 0xFF]
+                ^ table[9][sport & 0xFF]
+                ^ table[10][(dport >> 8) & 0xFF]
+                ^ table[11][dport & 0xFF])
+
+    def hash_packet(self, packet: IpPacket) -> int:
+        transport = packet.transport
+        if (transport is None or packet.is_fragment
+                or packet.proto not in (IPPROTO_UDP, IPPROTO_TCP)):
+            return self.hash_tuple(packet.src.value, packet.dst.value,
+                                   0, 0)
+        return self.hash_tuple(packet.src.value, packet.dst.value,
+                               transport.src_port, transport.dst_port)
+
+    def queue_for(self, packet: IpPacket, nqueues: int) -> int:
+        """The receive queue (== core) *packet* is steered to."""
+        if nqueues <= 1:
+            return 0
+        return self.hash_packet(packet) % nqueues

@@ -32,6 +32,7 @@ from repro.runner.cache import (
     ResultCache,
     RunJournal,
     canonicalize,
+    cores_identity,
     default_cache_dir,
     point_digest,
     shards_identity,
@@ -49,6 +50,7 @@ __all__ = [
     "SweepRunner",
     "WallClock",
     "canonicalize",
+    "cores_identity",
     "default_cache_dir",
     "format_eta",
     "point_digest",

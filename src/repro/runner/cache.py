@@ -137,6 +137,21 @@ def shards_identity(kwargs: Dict[str, Any]) -> int:
     return shards if isinstance(shards, int) else 1
 
 
+def cores_identity(kwargs: Dict[str, Any]) -> int:
+    """The server core count bound in a point's parameters (1 when
+    the point function has no ``cores`` parameter).
+
+    Recorded in sweep logs alongside :func:`shards_identity`.  Unlike
+    shards, cores are *not* behaviour-neutral — RSS steering, polling
+    and multi-core interrupt routing all depend on the count — but the
+    cache-key story is the same: ``cores`` enters the key through the
+    full bound-parameter canonicalization in :func:`point_digest`, so
+    points at different core counts can never collide.
+    """
+    cores = kwargs.get("cores", 1)
+    return cores if isinstance(cores, int) else 1
+
+
 def point_digest(fn: Callable, kwargs: Dict[str, Any],
                  costs: Optional[CostModel] = None) -> str:
     """The content address of one sweep point (SHA-256 hex digest)."""

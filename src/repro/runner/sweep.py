@@ -46,6 +46,7 @@ from repro.runner.cache import (
     ResultCache,
     RunJournal,
     canonicalize,
+    cores_identity,
     point_digest,
     shards_identity,
     topology_identity,
@@ -429,6 +430,7 @@ class SweepRunner:
             "digest": digest,
             "topology": topology_identity(kwargs),
             "shards": shards_identity(kwargs),
+            "cores": cores_identity(kwargs),
             "params": canonicalize(kwargs),
             "cached": False,
             "resumed": False,
@@ -471,6 +473,7 @@ class SweepRunner:
             "digest": digest,
             "topology": topology_identity(kwargs),
             "shards": shards_identity(kwargs),
+            "cores": cores_identity(kwargs),
             "params": canonicalize(kwargs),
             "cached": cached,
             "resumed": resumed,

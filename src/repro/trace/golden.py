@@ -52,9 +52,14 @@ TCP_BYTES = 4096
 #: the sharded engine's parity fixtures.
 CLUSTER_KEYS = ("cluster-incast", "cluster-chain", "cluster-faults")
 
+#: The modern-architecture family (PR 10): same canonical two-host
+#: workload, server built as a multi-core RSS host, a 2-core
+#: kernel-bypass polling host, and a policy-running AgentNic host.
+MODERN_KEYS = ("rss", "polling", "nic-os")
+
 GOLDEN_ARCHES = ("bsd", "soft-lrp", "ni-lrp",
                  "bsd-faults", "soft-lrp-faults", "ni-lrp-faults") \
-    + CLUSTER_KEYS
+    + MODERN_KEYS + CLUSTER_KEYS
 
 
 def workload_of(arch_key: str) -> str:
@@ -65,7 +70,17 @@ def _arch_of(key: str):
     from repro.core import Architecture
     return {"bsd": Architecture.BSD,
             "soft-lrp": Architecture.SOFT_LRP,
-            "ni-lrp": Architecture.NI_LRP}[key.replace("-faults", "")]
+            "ni-lrp": Architecture.NI_LRP,
+            "rss": Architecture.RSS,
+            "polling": Architecture.POLLING,
+            "nic-os": Architecture.NIC_OS}[key.replace("-faults", "")]
+
+
+def _server_kwargs(key: str) -> dict:
+    """Extra ``build_host`` kwargs for the golden server: the modern
+    architectures exercise the multi-core CpuSet."""
+    return {"rss": {"cores": 4},
+            "polling": {"cores": 2}}.get(key.replace("-faults", ""), {})
 
 
 def _golden_fault_plan():
@@ -309,7 +324,8 @@ def run_golden_workload(arch_key: str,
         fault_plane = FaultPlane(sim, _golden_fault_plan())
         fault_plane.attach_network(network)
     server = build_host(sim, network, "10.0.0.1", _arch_of(arch_key),
-                        fault_plane=fault_plane)
+                        fault_plane=fault_plane,
+                        **_server_kwargs(arch_key))
     client = build_host(sim, network, "10.0.0.2", Architecture.BSD,
                         fault_plane=fault_plane)
 

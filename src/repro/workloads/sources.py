@@ -56,13 +56,19 @@ class RawUdpInjector:
     *next_hop* routes the frames through a gateway: the link-layer
     destination becomes the gateway's address while the IP destination
     stays *dst_addr* (what a real client with a default route does).
+
+    *port* shares an existing :class:`InjectorPort` so several
+    injectors (distinct flows) can send from one attachment — a wire
+    address can only be attached once.
     """
 
     def __init__(self, sim: Simulator, network: Network, src_addr,
                  dst_addr, dst_port: int, payload_bytes: int = 14,
-                 src_port: int = 20000, next_hop=None):
+                 src_port: int = 20000, next_hop=None,
+                 port: Optional[InjectorPort] = None):
         self.sim = sim
-        self.port = InjectorPort(sim, network, src_addr)
+        self.port = port if port is not None \
+            else InjectorPort(sim, network, src_addr)
         self.dst_addr = IPAddr(dst_addr)
         self.dst_port = dst_port
         self.next_hop = IPAddr(next_hop) if next_hop is not None \

@@ -22,6 +22,10 @@ def sharded_main(fast=False, runner=None, shards=1):
     return f"shards={shards}"
 
 
+def multicore_main(fast=False, runner=None, cores=1):
+    return f"cores={cores}"
+
+
 @pytest.fixture
 def tiny_experiment(monkeypatch):
     stub = types.SimpleNamespace(__doc__="A tiny test experiment.",
@@ -32,12 +36,15 @@ def tiny_experiment(monkeypatch):
 
 @pytest.fixture
 def mixed_experiments(monkeypatch):
-    """One experiment that takes --shards, one that does not."""
+    """Experiments taking --shards, --cores, and neither."""
     modules = {
         "tiny": types.SimpleNamespace(
             __doc__="A tiny test experiment.", main=tiny_main),
         "shardy": types.SimpleNamespace(
             __doc__="A sharded test experiment.", main=sharded_main),
+        "corey": types.SimpleNamespace(
+            __doc__="A multi-core test experiment.",
+            main=multicore_main),
     }
     monkeypatch.setattr(cli, "EXPERIMENT_MODULES", modules)
     monkeypatch.setattr(cli, "EXPERIMENTS",
@@ -100,6 +107,37 @@ class TestShardsFlag:
                                           capsys):
         assert cli.main(["tiny"]) == 0
         assert "--shards" not in capsys.readouterr().err
+
+
+class TestCoresFlag:
+    def test_cores_forwarded_to_supporting_experiments(
+            self, mixed_experiments, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        assert cli.main(["corey", "--cores", "4",
+                         "--results-json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["invocation"]["cores"] == 4
+        assert payload["experiments"]["corey"]["report"] \
+            == "cores=4"
+
+    def test_unsupporting_experiment_falls_back_with_note(
+            self, mixed_experiments, capsys):
+        assert cli.main(["tiny", "--cores", "4"]) == 0
+        err = capsys.readouterr().err
+        assert "does not support --cores" in err
+        assert "running single-core" in err
+
+    def test_default_is_one_core_no_note(self, mixed_experiments,
+                                         capsys):
+        assert cli.main(["tiny"]) == 0
+        assert "--cores" not in capsys.readouterr().err
+
+    def test_real_figure3_and_degradation_accept_cores(self):
+        import inspect
+        for name in ("figure3", "degradation"):
+            accepts = inspect.signature(
+                cli.EXPERIMENTS[name]).parameters
+            assert "cores" in accepts
 
 
 class TestResultsJson:

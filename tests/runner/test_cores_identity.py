@@ -1,0 +1,65 @@
+"""Core count in cache keys and sweep logs.
+
+Unlike shards, ``cores`` changes the measured system — RSS steering,
+polling, interrupt routing all depend on it — so serving a cached
+1-core result for a 4-core point would be plainly wrong, not just a
+masked parity bug.  The cache key binds ``cores`` through the full
+parameter canonicalization, and the points log records it next to the
+shard count so every logged result pins its host configuration.
+"""
+
+from repro.runner.cache import cores_identity, point_digest
+from repro.runner.sweep import SweepRunner
+
+
+def multicore_point(x: int, cores: int = 1, shards: int = 1) -> dict:
+    return {"x": x, "cores": cores}
+
+
+def single_core_point(x: int) -> dict:
+    return {"x": x}
+
+
+def test_digest_distinguishes_core_counts():
+    base = point_digest(multicore_point, {"x": 1})
+    assert point_digest(multicore_point, {"x": 1, "cores": 4}) != base
+    # Default binding: omitting cores equals passing the default.
+    assert point_digest(multicore_point, {"x": 1, "cores": 1}) == base
+
+
+def test_cores_identity_helper():
+    assert cores_identity({"cores": 4}) == 4
+    assert cores_identity({"x": 1}) == 1
+    assert cores_identity({"cores": None}) == 1
+
+
+def test_points_log_records_cores_next_to_shards():
+    runner = SweepRunner()
+    runner.map(multicore_point, [
+        {"x": 1, "cores": 4, "shards": 2},
+        {"x": 2},
+    ], label="probe")
+    logged = {entry["params"]["x"]: entry
+              for entry in runner.points_log}
+    assert logged[1]["cores"] == 4
+    assert logged[1]["shards"] == 2
+    assert logged[2]["cores"] == 1
+
+
+def test_points_log_defaults_cores_for_single_core_points():
+    runner = SweepRunner()
+    runner.map(single_core_point, [{"x": 5}], label="probe")
+    assert runner.points_log[0]["cores"] == 1
+
+
+def test_failed_points_also_record_cores():
+    runner = SweepRunner()
+    results = runner.map(_exploding_point, [{"cores": 3}],
+                         label="boom")
+    assert results == [None]
+    assert runner.points_log[0]["cores"] == 3
+    assert runner.points_log[0]["error"]
+
+
+def _exploding_point(cores: int = 1) -> dict:
+    raise RuntimeError("boom")
